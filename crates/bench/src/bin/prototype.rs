@@ -1,0 +1,77 @@
+//! Table II + Sec. V mechanism demos: the prototype inventory as modeled,
+//! the kernel-split occupancy bound, and the make-before-break transport
+//! reconfiguration vs the vanilla delete–create outage.
+
+use edgeslice_netsim::compute::{split_kernel, Gpu, Kernel, TenantId};
+use edgeslice_netsim::radio::LteBand;
+use edgeslice_netsim::transport::{FlowMatch, IpAddr, ReconfigMode, SdnController};
+use edgeslice_netsim::{AppProfile, ResourceAutonomy};
+
+fn main() {
+    println!("=== Table II: prototype inventory (as modeled) ===");
+    let ra = ResourceAutonomy::prototype(0, 2);
+    println!("  eNodeB: band {:?}, {} PRBs (5 MHz), {:.0} Mb/s peak cell rate",
+        ra.enodeb().band(), ra.enodeb().total_prbs(), ra.enodeb().cell_rate_mbps());
+    let ra2 = ResourceAutonomy::prototype(1, 2);
+    println!("  eNodeB 2: band {:?} (co-channel interference avoided by band selection)",
+        ra2.enodeb().band());
+    assert_ne!(ra.enodeb().band(), ra2.enodeb().band());
+    assert_eq!(ra.enodeb().band(), LteBand::Band7);
+    println!("  transport: {} OpenFlow switches, {:.0} Mb/s RAN-edge link",
+        ra.transport().switches().len(), ra.link_mbps());
+    println!("  edge GPU: {} CUDA threads/RA, {:.0} GFLOPs/s effective",
+        ra.gpu().total_threads(), ra.gpu().peak_gflops_s());
+    println!("  2 RAs x 2 slices x 1 user each; slice apps:");
+    for (i, app) in [AppProfile::traffic_heavy(), AppProfile::compute_heavy()].iter().enumerate() {
+        println!(
+            "    slice {}: {}x{} frames ({:.2} Mb/task), YOLO-{} ({:.1} GFLOP/task)",
+            i + 1,
+            app.resolution.side(), app.resolution.side(),
+            app.radio_bits() / 1e6,
+            app.model.input_side(),
+            app.compute_gflops(),
+        );
+    }
+
+    println!("\n=== Sec. V-C: kernel-split mechanism ===");
+    let kernel = Kernel::new(51_200, 140.0);
+    for budget in [51_200u32, 25_600, 10_000, 1_024] {
+        let parts = split_kernel(kernel, budget);
+        let max = parts.iter().map(|k| k.threads).max().unwrap_or(0);
+        println!(
+            "  budget {budget:>6} threads -> {:>3} consecutive kernels, max occupancy {max} (bound holds: {})",
+            parts.len(),
+            max <= budget
+        );
+    }
+    let mut gpu = Gpu::prototype();
+    gpu.set_budget(TenantId(0), 10_000);
+    gpu.set_budget(TenantId(1), 40_000);
+    for _ in 0..8 {
+        gpu.submit(TenantId(0), Kernel::new(51_200, 38.8));
+        gpu.submit(TenantId(1), Kernel::new(51_200, 140.0));
+        gpu.advance(0.1);
+    }
+    println!("  two MPS tenants under load: occupancy within budgets = {}", gpu.occupancy_within_budgets());
+
+    println!("\n=== Sec. V-B: transport reconfiguration ===");
+    let flow = FlowMatch { src: IpAddr([10, 0, 0, 1]), dst: IpAddr([192, 168, 0, 10]) };
+    for mode in [ReconfigMode::BreakBeforeMake, ReconfigMode::MakeBeforeBreak] {
+        let mut ctl = SdnController::prototype();
+        let mut dark_transitions = 0;
+        ctl.set_bandwidth(flow, 40.0, mode);
+        for rate in [20.0, 60.0, 30.0, 50.0, 10.0, 45.0, 25.0, 70.0, 35.0, 55.0] {
+            ctl.set_bandwidth(flow, rate, mode);
+            if ctl.path_rate_mbps(flow) == 0.0 {
+                dark_transitions += 1;
+            }
+        }
+        println!(
+            "  {:?}: cumulative outage {:.2} s over 10 reconfigurations",
+            mode,
+            ctl.outage_seconds()
+        );
+        let _ = dark_transitions;
+    }
+    println!("  (the radio manager hides the deletion-creation interval entirely)");
+}

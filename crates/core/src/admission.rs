@@ -1,0 +1,289 @@
+//! Slice admission control over the SR interface (paper Sec. V-D).
+//!
+//! The paper's SR (slice request) interface lets tenants request slices and
+//! negotiate SLAs; the network operator must decide whether a new slice
+//! fits. This module implements the natural admission policy for the
+//! EdgeSlice model: estimate each slice's per-domain resource demand from
+//! its application profile and expected traffic, and admit a request only
+//! if the residual capacity in every domain of every RA can absorb it with
+//! a safety margin. (Admission control is the operator-side complement the
+//! paper leaves to the SR interface; STORNS [41] is its related work.)
+
+use edgeslice_netsim::{AppProfile, RaCapacities};
+use serde::{Deserialize, Serialize};
+
+use crate::{Sla, SliceId, SliceSpec};
+
+/// A tenant's slice request: the SR-interface message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceRequest {
+    /// The application the slice will carry.
+    pub app: AppProfile,
+    /// Expected mean task arrivals per interval, per RA.
+    pub expected_rate: f64,
+    /// Requested SLA.
+    pub sla: Sla,
+}
+
+/// Why a request was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The radio domain cannot absorb the demand.
+    RadioExhausted {
+        /// Fraction of the cell the request needs.
+        needed: f64,
+        /// Fraction still unallocated.
+        available: f64,
+    },
+    /// The transport domain cannot absorb the demand.
+    TransportExhausted {
+        /// Fraction of the link the request needs.
+        needed: f64,
+        /// Fraction still unallocated.
+        available: f64,
+    },
+    /// The computing domain cannot absorb the demand.
+    ComputingExhausted {
+        /// Fraction of the GPU the request needs.
+        needed: f64,
+        /// Fraction still unallocated.
+        available: f64,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (domain, needed, available) = match self {
+            RejectReason::RadioExhausted { needed, available } => ("radio", needed, available),
+            RejectReason::TransportExhausted { needed, available } => {
+                ("transport", needed, available)
+            }
+            RejectReason::ComputingExhausted { needed, available } => {
+                ("computing", needed, available)
+            }
+        };
+        write!(f, "{domain} exhausted: request needs {needed:.2} of capacity, {available:.2} available")
+    }
+}
+
+/// Per-domain fractional demand of one slice at a target utilization.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DemandEstimate {
+    /// Fraction of the RA's radio capacity.
+    pub radio: f64,
+    /// Fraction of the RA's transport capacity.
+    pub transport: f64,
+    /// Fraction of the RA's computing capacity.
+    pub compute: f64,
+}
+
+impl DemandEstimate {
+    /// Estimates the share of each domain a slice needs so that its service
+    /// rate is `rate / utilization` (i.e. the queue's utilization factor is
+    /// `utilization < 1`).
+    ///
+    /// The estimate assumes each domain is provisioned independently: the
+    /// share of domain `d` must satisfy `rate · t_d / share ≤ utilization`
+    /// where `t_d` is the domain's per-task time at full allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilization < 1` and `rate ≥ 0`.
+    pub fn for_app(
+        app: &AppProfile,
+        rate: f64,
+        capacities: &RaCapacities,
+        utilization: f64,
+    ) -> Self {
+        assert!((0.0..1.0).contains(&utilization) && utilization > 0.0, "bad utilization");
+        assert!(rate >= 0.0 && rate.is_finite(), "bad rate");
+        let radio_t = app.radio_bits() / (capacities.radio_mbps * 1e6);
+        let transport_t = app.transport_bits() / (capacities.transport_mbps * 1e6);
+        let compute_t = app.compute_gflops() / capacities.compute_gflops_s;
+        Self {
+            radio: (rate * radio_t / utilization).min(1.0),
+            transport: (rate * transport_t / utilization).min(1.0),
+            compute: (rate * compute_t / utilization).min(1.0),
+        }
+    }
+
+    /// The demand as a `[radio, transport, compute]` array.
+    pub fn as_array(&self) -> [f64; 3] {
+        [self.radio, self.transport, self.compute]
+    }
+}
+
+/// The operator-side admission controller.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    capacities: RaCapacities,
+    /// Target per-domain utilization for admitted slices (headroom for
+    /// traffic variance and the DRL agent's transient exploration).
+    utilization: f64,
+    /// Committed per-domain fractions, `[radio, transport, compute]`.
+    committed: [f64; 3],
+    admitted: Vec<SliceSpec>,
+}
+
+impl AdmissionController {
+    /// Creates a controller over the given RA capacities. `utilization` is
+    /// the per-domain load target (e.g. 0.7).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < utilization < 1`.
+    pub fn new(capacities: RaCapacities, utilization: f64) -> Self {
+        assert!((0.0..1.0).contains(&utilization) && utilization > 0.0, "bad utilization");
+        Self { capacities, utilization, committed: [0.0; 3], admitted: Vec::new() }
+    }
+
+    /// The prototype controller: Table II capacities, 70% load target.
+    pub fn prototype() -> Self {
+        Self::new(RaCapacities::prototype(), 0.7)
+    }
+
+    /// Slices admitted so far, in admission order.
+    pub fn admitted(&self) -> &[SliceSpec] {
+        &self.admitted
+    }
+
+    /// Residual per-domain fraction available to future slices.
+    pub fn residual(&self) -> [f64; 3] {
+        [
+            1.0 - self.committed[0],
+            1.0 - self.committed[1],
+            1.0 - self.committed[2],
+        ]
+    }
+
+    /// Decides a request: on admission the demand is committed and the new
+    /// slice's spec (with the next free [`SliceId`]) is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns the binding [`RejectReason`] if any domain lacks capacity.
+    pub fn decide(&mut self, request: &SliceRequest) -> Result<SliceSpec, RejectReason> {
+        let demand = DemandEstimate::for_app(
+            &request.app,
+            request.expected_rate,
+            &self.capacities,
+            self.utilization,
+        );
+        let residual = self.residual();
+        let d = demand.as_array();
+        if d[0] > residual[0] + 1e-12 {
+            return Err(RejectReason::RadioExhausted { needed: d[0], available: residual[0] });
+        }
+        if d[1] > residual[1] + 1e-12 {
+            return Err(RejectReason::TransportExhausted { needed: d[1], available: residual[1] });
+        }
+        if d[2] > residual[2] + 1e-12 {
+            return Err(RejectReason::ComputingExhausted { needed: d[2], available: residual[2] });
+        }
+        for (c, v) in self.committed.iter_mut().zip(d) {
+            *c += v;
+        }
+        let spec = SliceSpec::new(SliceId(self.admitted.len()), request.app, request.sla);
+        self.admitted.push(spec);
+        Ok(spec)
+    }
+
+    /// Releases a slice's committed demand (tenant teardown over SR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is unknown.
+    pub fn release(&mut self, slice: SliceId, expected_rate: f64) {
+        let pos = self
+            .admitted
+            .iter()
+            .position(|s| s.id == slice)
+            .expect("slice must have been admitted");
+        let spec = self.admitted.remove(pos);
+        let demand =
+            DemandEstimate::for_app(&spec.app, expected_rate, &self.capacities, self.utilization);
+        for (c, v) in self.committed.iter_mut().zip(demand.as_array()) {
+            *c = (*c - v).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(app: AppProfile, rate: f64) -> SliceRequest {
+        SliceRequest { app, expected_rate: rate, sla: Sla::paper() }
+    }
+
+    #[test]
+    fn demand_estimate_scales_with_rate() {
+        let caps = RaCapacities::prototype();
+        let lo = DemandEstimate::for_app(&AppProfile::traffic_heavy(), 5.0, &caps, 0.7);
+        let hi = DemandEstimate::for_app(&AppProfile::traffic_heavy(), 10.0, &caps, 0.7);
+        assert!((hi.radio - 2.0 * lo.radio).abs() < 1e-12);
+        assert!(hi.radio > hi.compute, "traffic-heavy app is radio-dominated");
+    }
+
+    #[test]
+    fn compute_heavy_app_demands_gpu() {
+        let caps = RaCapacities::prototype();
+        let d = DemandEstimate::for_app(&AppProfile::compute_heavy(), 10.0, &caps, 0.7);
+        assert!(d.compute > d.radio);
+        assert!(d.compute > d.transport);
+    }
+
+    #[test]
+    fn admits_the_experimental_pair() {
+        let mut ctl = AdmissionController::prototype();
+        assert!(ctl.decide(&request(AppProfile::traffic_heavy(), 10.0)).is_ok());
+        assert!(ctl.decide(&request(AppProfile::compute_heavy(), 10.0)).is_ok());
+        assert_eq!(ctl.admitted().len(), 2);
+        assert_eq!(ctl.admitted()[1].id, SliceId(1));
+    }
+
+    #[test]
+    fn rejects_when_radio_is_exhausted() {
+        let mut ctl = AdmissionController::prototype();
+        // Traffic-heavy slices until the cell runs out.
+        let mut admitted = 0;
+        loop {
+            match ctl.decide(&request(AppProfile::traffic_heavy(), 10.0)) {
+                Ok(_) => admitted += 1,
+                Err(reason) => {
+                    assert!(matches!(reason, RejectReason::RadioExhausted { .. }), "{reason}");
+                    break;
+                }
+            }
+            assert!(admitted < 100, "should eventually reject");
+        }
+        assert!(admitted >= 1);
+        // Residual radio is below one more slice's demand.
+        let d = DemandEstimate::for_app(
+            &AppProfile::traffic_heavy(),
+            10.0,
+            &RaCapacities::prototype(),
+            0.7,
+        );
+        assert!(ctl.residual()[0] < d.radio);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut ctl = AdmissionController::prototype();
+        let spec = ctl.decide(&request(AppProfile::traffic_heavy(), 10.0)).unwrap();
+        let before = ctl.residual();
+        ctl.release(spec.id, 10.0);
+        let after = ctl.residual();
+        assert!(after[0] > before[0]);
+        assert!((after[0] - 1.0).abs() < 1e-9);
+        assert!(ctl.admitted().is_empty());
+    }
+
+    #[test]
+    fn reject_reason_displays() {
+        let r = RejectReason::ComputingExhausted { needed: 0.8, available: 0.1 };
+        let s = r.to_string();
+        assert!(s.contains("computing") && s.contains("0.80"));
+    }
+}

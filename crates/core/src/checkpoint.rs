@@ -1,0 +1,237 @@
+//! Policy checkpointing: persist a trained orchestration agent's policy
+//! network and restore it as a frozen, deployable policy.
+//!
+//! A checkpoint captures only what's needed to *act* (the actor / policy
+//! mean network and its decoding rule), not optimizer or replay state —
+//! the unit an operator ships from the training cluster to the RAs.
+
+use edgeslice_nn::Mlp;
+use serde::{Deserialize, Serialize};
+
+use crate::{AgentBackend, OrchestrationAgent, RaId};
+
+/// How actions are decoded from the stored network's output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+enum Decode {
+    /// The network output *is* the action (sigmoid head): DDPG, and the
+    /// Gaussian mean networks of PPO/TRPO/VPG (clamped).
+    Direct,
+    /// The network emits `[μ | log σ]`; the action is `sigmoid(μ)`: SAC.
+    SigmoidMeanHead,
+}
+
+/// A frozen, serializable policy.
+///
+/// # Examples
+///
+/// ```no_run
+/// # use edgeslice::{PolicyCheckpoint, OrchestrationAgent};
+/// # fn demo(agent: &OrchestrationAgent) {
+/// let ckpt = PolicyCheckpoint::from_agent(agent);
+/// let json = ckpt.to_json().unwrap();
+/// let restored = PolicyCheckpoint::from_json(&json).unwrap();
+/// let action = restored.decide(&[0.1, 0.2, 0.3, 0.4]);
+/// # let _ = action;
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCheckpoint {
+    technique: String,
+    state_dim: usize,
+    action_dim: usize,
+    decode: Decode,
+    network: Mlp,
+}
+
+/// Errors from checkpoint (de)serialization.
+#[derive(Debug)]
+pub struct CheckpointError(String);
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "checkpoint error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl PolicyCheckpoint {
+    /// Extracts the policy from a trained agent.
+    pub fn from_agent(agent: &OrchestrationAgent) -> Self {
+        let (network, decode, action_dim) = match agent.backend() {
+            AgentBackend::Ddpg(a) => (a.actor().clone(), Decode::Direct, a.actor().out_dim()),
+            AgentBackend::Sac(a) => {
+                let net = a.actor().clone();
+                let ad = net.out_dim() / 2;
+                (net, Decode::SigmoidMeanHead, ad)
+            }
+            AgentBackend::Ppo(a) => {
+                let net = a.gaussian_policy().mean_net().clone();
+                let ad = net.out_dim();
+                (net, Decode::Direct, ad)
+            }
+            AgentBackend::Trpo(a) => {
+                let net = a.gaussian_policy().mean_net().clone();
+                let ad = net.out_dim();
+                (net, Decode::Direct, ad)
+            }
+            AgentBackend::Vpg(a) => {
+                let net = a.gaussian_policy().mean_net().clone();
+                let ad = net.out_dim();
+                (net, Decode::Direct, ad)
+            }
+        };
+        Self {
+            technique: agent.technique().label().to_string(),
+            state_dim: network.in_dim(),
+            action_dim,
+            decode,
+            network,
+        }
+    }
+
+    /// The training technique the policy came from.
+    pub fn technique(&self) -> &str {
+        &self.technique
+    }
+
+    /// Expected state dimensionality.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Produced action dimensionality.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// The greedy action for a state, identical to the source agent's
+    /// [`OrchestrationAgent::decide`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state.len() != state_dim()`.
+    pub fn decide(&self, state: &[f64]) -> Vec<f64> {
+        let out = self.network.forward_one(state);
+        match self.decode {
+            Decode::Direct => out.into_iter().map(|v| v.clamp(0.0, 1.0)).collect(),
+            Decode::SigmoidMeanHead => {
+                (0..self.action_dim).map(|j| edgeslice_nn::sigmoid(out[j])).collect()
+            }
+        }
+    }
+
+    /// Serializes to JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if serialization fails (practically impossible for
+    /// this structure).
+    pub fn to_json(&self) -> Result<String, CheckpointError> {
+        serde_json_compat::to_string(self).map_err(CheckpointError)
+    }
+
+    /// Restores from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on malformed input.
+    pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
+        serde_json_compat::from_str(json).map_err(CheckpointError)
+    }
+
+    /// Rehydrates the checkpoint as a deployable frozen agent for `ra`.
+    pub fn into_frozen_policy(self, ra: RaId) -> FrozenPolicy {
+        FrozenPolicy { ra, checkpoint: self }
+    }
+}
+
+/// A deployed frozen policy bound to an RA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrozenPolicy {
+    ra: RaId,
+    checkpoint: PolicyCheckpoint,
+}
+
+impl FrozenPolicy {
+    /// The RA this policy serves.
+    pub fn ra(&self) -> RaId {
+        self.ra
+    }
+
+    /// The greedy action for a state.
+    pub fn decide(&self, state: &[f64]) -> Vec<f64> {
+        self.checkpoint.decide(state)
+    }
+}
+
+/// Thin string-error adapters over `serde_json`.
+mod serde_json_compat {
+    pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, String> {
+        serde_json::to_string(value).map_err(|e| e.to_string())
+    }
+
+    pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AgentConfig, RaEnvConfig, RaSliceEnv, SliceSpec};
+    use edgeslice_netsim::PoissonTraffic;
+    use edgeslice_rl::{Environment, Technique};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn env() -> RaSliceEnv {
+        RaSliceEnv::with_dataset(
+            RaEnvConfig::experiment(vec![
+                SliceSpec::experiment_slice1(),
+                SliceSpec::experiment_slice2(),
+            ]),
+            vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_decisions_for_every_technique() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = env();
+        let cfg = AgentConfig::default();
+        for t in Technique::ALL {
+            let agent = OrchestrationAgent::new(RaId(0), t, &e, &cfg, &mut rng);
+            let ckpt = PolicyCheckpoint::from_agent(&agent);
+            let json = ckpt.to_json().unwrap();
+            let restored = PolicyCheckpoint::from_json(&json).unwrap();
+            let state = vec![0.4; e.state_dim()];
+            for (a, b) in agent.decide(&state).iter().zip(restored.decide(&state)) {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "{t}: checkpoint must reproduce the policy ({a} vs {b})"
+                );
+            }
+            assert_eq!(restored.technique(), t.label());
+            assert_eq!(restored.state_dim(), e.state_dim());
+            assert_eq!(restored.action_dim(), e.action_dim());
+        }
+    }
+
+    #[test]
+    fn frozen_policy_binds_an_ra() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let e = env();
+        let agent =
+            OrchestrationAgent::new(RaId(0), Technique::Ddpg, &e, &AgentConfig::default(), &mut rng);
+        let frozen = PolicyCheckpoint::from_agent(&agent).into_frozen_policy(RaId(7));
+        assert_eq!(frozen.ra(), RaId(7));
+        let a = frozen.decide(&vec![0.1; e.state_dim()]);
+        assert!(a.iter().all(|v| (0.0..=1.0).contains(v)));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(PolicyCheckpoint::from_json("{not json").is_err());
+    }
+}

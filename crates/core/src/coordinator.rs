@@ -1,0 +1,258 @@
+//! The central performance coordinator (paper Sec. IV-A).
+//!
+//! Solves the `z`-update `P2` (Eq. 11) — a per-slice Euclidean projection of
+//! `c_{i,·} = Σ_t U_{i,·} + y_{i,·}` onto the SLA half-space
+//! `Σ_j z_{i,j} ≥ Umin_i` — and the scaled dual update
+//! `y ← y + (Σ_t U − z)` (Eq. 10). The only message it exchanges with the
+//! orchestration agents is the coordinating information `z − y` per
+//! (slice, RA), which is what keeps EdgeSlice's communication overhead low.
+
+use edgeslice_optim::{
+    dual_update, project_sum_halfspace, AdmmConfig, AdmmResiduals, ConvergenceTracker,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::{RaId, Sla, SliceId};
+
+/// The per-(slice, RA) coordinating information sent to an orchestration
+/// agent: `z_{i,j} − y_{i,j}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoordinationInfo {
+    /// `z − y` indexed `[slice][ra]`.
+    pub zy: Vec<Vec<f64>>,
+}
+
+impl CoordinationInfo {
+    /// The message for one RA: `z_{i,j} − y_{i,j}` for all slices `i`.
+    pub fn for_ra(&self, ra: RaId) -> Vec<f64> {
+        self.zy.iter().map(|row| row[ra.0]).collect()
+    }
+}
+
+/// The performance coordinator.
+#[derive(Debug, Clone)]
+pub struct PerformanceCoordinator {
+    slas: Vec<Sla>,
+    n_ras: usize,
+    /// Auxiliary variables `z`, `[slice][ra]`.
+    z: Vec<Vec<f64>>,
+    /// Scaled dual variables `y`, `[slice][ra]`.
+    y: Vec<Vec<f64>>,
+    config: AdmmConfig,
+    tracker: ConvergenceTracker,
+    /// Safeguard bound on |y|: scaled duals are clamped into
+    /// `[-dual_clamp, dual_clamp]`. With a feasible SLA the duals stay far
+    /// inside the bound and the clamp is inert; with a (transiently)
+    /// infeasible SLA it prevents dual divergence from driving the
+    /// coordination signal outside the agents' trained input range — the
+    /// standard safeguarded-ADMM device.
+    dual_clamp: f64,
+}
+
+impl PerformanceCoordinator {
+    /// Creates a coordinator for `slas.len()` slices over `n_ras` RAs.
+    ///
+    /// `z` is initialized to an even split of each slice's SLA across RAs
+    /// (a feasible starting point); `y` to zero (Alg. 1 line 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no slices or no RAs.
+    pub fn new(slas: &[Sla], n_ras: usize, config: AdmmConfig) -> Self {
+        assert!(!slas.is_empty(), "need at least one slice");
+        assert!(n_ras > 0, "need at least one RA");
+        let z = slas
+            .iter()
+            .map(|sla| vec![sla.umin / n_ras as f64; n_ras])
+            .collect();
+        let y = vec![vec![0.0; n_ras]; slas.len()];
+        Self {
+            slas: slas.to_vec(),
+            n_ras,
+            z,
+            y,
+            config,
+            tracker: ConvergenceTracker::new(),
+            dual_clamp: 50.0,
+        }
+    }
+
+    /// Adjusts the dual safeguard bound (default 50).
+    pub fn set_dual_clamp(&mut self, bound: f64) {
+        assert!(bound > 0.0, "dual clamp must be positive");
+        self.dual_clamp = bound;
+    }
+
+    /// Number of slices.
+    pub fn n_slices(&self) -> usize {
+        self.slas.len()
+    }
+
+    /// Number of RAs.
+    pub fn n_ras(&self) -> usize {
+        self.n_ras
+    }
+
+    /// The current auxiliary variables `z`.
+    pub fn z(&self) -> &[Vec<f64>] {
+        &self.z
+    }
+
+    /// The current scaled duals `y`.
+    pub fn y(&self) -> &[Vec<f64>] {
+        &self.y
+    }
+
+    /// The ADMM configuration in effect.
+    pub fn config(&self) -> &AdmmConfig {
+        &self.config
+    }
+
+    /// The coordinating information `z − y` for all agents.
+    pub fn coordination_info(&self) -> CoordinationInfo {
+        let zy = self
+            .z
+            .iter()
+            .zip(&self.y)
+            .map(|(zr, yr)| zr.iter().zip(yr).map(|(z, y)| z - y).collect())
+            .collect();
+        CoordinationInfo { zy }
+    }
+
+    /// One coordination round (Alg. 1 lines 7–10): given the achieved
+    /// per-period performance `Σ_t U_{i,j}` (indexed `[slice][ra]`),
+    /// update `z` by solving `P2` and `y` by the scaled dual ascent.
+    /// Returns this round's residuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `achieved` is not `n_slices × n_ras`.
+    pub fn update(&mut self, achieved: &[Vec<f64>]) -> AdmmResiduals {
+        assert_eq!(achieved.len(), self.slas.len(), "slice count mismatch");
+        let z_prev: Vec<f64> = self.z.iter().flatten().copied().collect();
+        for (i, sla) in self.slas.iter().enumerate() {
+            assert_eq!(achieved[i].len(), self.n_ras, "RA count mismatch for slice {i}");
+            // c = Σ_t U + y ; project onto { Σ_j z ≥ Umin_i } (P2).
+            let c: Vec<f64> =
+                achieved[i].iter().zip(&self.y[i]).map(|(u, y)| u + y).collect();
+            self.z[i] = project_sum_halfspace(&c, sla.umin);
+            // y ← y + (Σ_t U − z) (Eq. 10), safeguarded.
+            dual_update(&mut self.y[i], &achieved[i], &self.z[i]);
+            for y in &mut self.y[i] {
+                *y = y.clamp(-self.dual_clamp, self.dual_clamp);
+            }
+        }
+        let z_now: Vec<f64> = self.z.iter().flatten().copied().collect();
+        let achieved_flat: Vec<f64> = achieved.iter().flatten().copied().collect();
+        let residuals =
+            AdmmResiduals::compute(&achieved_flat, &z_now, &z_prev, self.config.rho);
+        self.tracker.record(residuals);
+        residuals
+    }
+
+    /// True once the coordination loop should stop (converged or at the
+    /// round cap — Alg. 1 line 12).
+    pub fn converged(&self) -> bool {
+        self.tracker.should_stop(&self.config)
+    }
+
+    /// Coordination rounds run so far.
+    pub fn rounds(&self) -> usize {
+        self.tracker.rounds()
+    }
+
+    /// Whether slice `i`'s SLA is met by the achieved performance.
+    pub fn sla_met(&self, slice: SliceId, achieved: &[Vec<f64>]) -> bool {
+        let total: f64 = achieved[slice.0].iter().sum();
+        total >= self.slas[slice.0].umin - 1e-9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coordinator() -> PerformanceCoordinator {
+        PerformanceCoordinator::new(&[Sla::new(-50.0), Sla::new(-50.0)], 2, AdmmConfig::default())
+    }
+
+    #[test]
+    fn initialization_is_feasible() {
+        let c = coordinator();
+        for (i, zr) in c.z().iter().enumerate() {
+            let sum: f64 = zr.iter().sum();
+            assert!(sum >= c.slas[i].umin - 1e-9);
+            assert_eq!(zr.len(), 2);
+        }
+        assert!(c.y().iter().flatten().all(|&y| y == 0.0));
+    }
+
+    #[test]
+    fn z_update_keeps_sla_feasible() {
+        let mut c = coordinator();
+        // Achieved performance far below SLA.
+        let achieved = vec![vec![-100.0, -80.0], vec![-10.0, -5.0]];
+        c.update(&achieved);
+        for (i, zr) in c.z().iter().enumerate() {
+            let sum: f64 = zr.iter().sum();
+            assert!(sum >= c.slas[i].umin - 1e-9, "slice {i} z-sum {sum}");
+        }
+    }
+
+    #[test]
+    fn z_equals_c_when_sla_already_met() {
+        let mut c = coordinator();
+        let achieved = vec![vec![-10.0, -10.0], vec![-5.0, -5.0]];
+        c.update(&achieved);
+        // y was zero, c = achieved, Σc = -20 ≥ -50 ⇒ z = achieved, y stays 0.
+        assert_eq!(c.z()[0], vec![-10.0, -10.0]);
+        assert!(c.y()[0].iter().all(|&y| y.abs() < 1e-12));
+    }
+
+    #[test]
+    fn duals_accumulate_infeasibility() {
+        let mut c = coordinator();
+        let achieved = vec![vec![-100.0, -100.0], vec![0.0, 0.0]];
+        c.update(&achieved);
+        // Slice 0 misses its SLA: z is lifted above achieved ⇒ y < 0.
+        assert!(c.y()[0].iter().all(|&y| y < 0.0));
+        // Slice 1 is fine ⇒ duals untouched.
+        assert!(c.y()[1].iter().all(|&y| y.abs() < 1e-12));
+    }
+
+    #[test]
+    fn coordination_info_is_z_minus_y() {
+        let mut c = coordinator();
+        c.update(&[vec![-100.0, -100.0], vec![0.0, 0.0]]);
+        let info = c.coordination_info();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((info.zy[i][j] - (c.z()[i][j] - c.y()[i][j])).abs() < 1e-12);
+            }
+        }
+        assert_eq!(info.for_ra(RaId(1)), vec![info.zy[0][1], info.zy[1][1]]);
+    }
+
+    #[test]
+    fn convergence_when_agents_deliver_targets() {
+        let mut c = coordinator();
+        // An oracle agent that always delivers exactly z − y (consensus).
+        for _ in 0..50 {
+            let info = c.coordination_info();
+            let achieved: Vec<Vec<f64>> = info.zy.clone();
+            c.update(&achieved);
+            if c.converged() {
+                break;
+            }
+        }
+        assert!(c.converged(), "oracle consensus should converge");
+        assert!(c.rounds() < 50);
+    }
+
+    #[test]
+    fn sla_check() {
+        let c = coordinator();
+        assert!(c.sla_met(SliceId(0), &[vec![-20.0, -20.0], vec![0.0, 0.0]]));
+        assert!(!c.sla_met(SliceId(0), &[vec![-40.0, -20.0], vec![0.0, 0.0]]));
+    }
+}

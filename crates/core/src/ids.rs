@@ -1,0 +1,85 @@
+//! Identifier newtypes and resource kinds (paper Table I: slices `i ∈ I`,
+//! RAs `j ∈ J`, resources `k ∈ K`).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A network-slice index `i ∈ I`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SliceId(pub usize);
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slice-{}", self.0)
+    }
+}
+
+/// A resource-autonomy index `j ∈ J`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RaId(pub usize);
+
+impl fmt::Display for RaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ra-{}", self.0)
+    }
+}
+
+/// The three end-to-end resource kinds `k ∈ K` EdgeSlice orchestrates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Radio access network bandwidth (PRBs).
+    Radio,
+    /// Transport network bandwidth (meters).
+    Transport,
+    /// Edge computing capacity (CUDA threads).
+    Computing,
+}
+
+impl ResourceKind {
+    /// All kinds in canonical order (matching action-vector layout).
+    pub const ALL: [ResourceKind; 3] =
+        [ResourceKind::Radio, ResourceKind::Transport, ResourceKind::Computing];
+
+    /// Number of resource kinds.
+    pub const COUNT: usize = 3;
+
+    /// Position of this kind in the canonical order.
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Radio => 0,
+            ResourceKind::Transport => 1,
+            ResourceKind::Computing => 2,
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Radio => "radio",
+            ResourceKind::Transport => "transport",
+            ResourceKind::Computing => "computing",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SliceId(2).to_string(), "slice-2");
+        assert_eq!(RaId(0).to_string(), "ra-0");
+        assert_eq!(ResourceKind::Radio.to_string(), "radio");
+    }
+
+    #[test]
+    fn kind_indices_are_canonical() {
+        for (i, k) in ResourceKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
+        }
+        assert_eq!(ResourceKind::COUNT, ResourceKind::ALL.len());
+    }
+}

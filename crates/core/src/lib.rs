@@ -1,0 +1,80 @@
+//! # edgeslice
+//!
+//! A full reproduction of **EdgeSlice** (Liu, Han, Moges — ICDCS 2020):
+//! decentralized deep-reinforcement-learning resource orchestration for
+//! dynamic end-to-end network slicing in wireless edge computing networks.
+//!
+//! The system is composed of (Fig. 2):
+//!
+//! * a central [`PerformanceCoordinator`] running the ADMM `z`/`y` updates
+//!   that enforce every slice's SLA across resource autonomies (Sec. IV-A);
+//! * per-RA [`OrchestrationAgent`]s — DDPG learners (or the SAC/PPO/TRPO/
+//!   VPG comparators) mapping the Eq. 13 state to the Eq. 14 resource
+//!   orchestration under the Eq. 15 reward (Sec. IV-B);
+//! * [`ResourceManagers`] applying decisions to the radio, transport and
+//!   computing substrates (Sec. V);
+//! * a [`SystemMonitor`] collecting state/performance and the user↔slice
+//!   association database (Sec. V-D);
+//! * the [`EdgeSliceSystem`] orchestration loop (Alg. 1);
+//! * the [`RaSliceEnv`] simulated network environment used for offline
+//!   agent training (Fig. 5, Sec. VI-B);
+//! * the [`Taro`] baseline and the EdgeSlice-NT ablation
+//!   ([`StateSpec::CoordinationOnly`]) from Sec. VII-B.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use edgeslice::{AgentConfig, EdgeSliceSystem, OrchestratorKind, SystemConfig};
+//! use edgeslice_rl::Technique;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let config = SystemConfig::prototype();
+//! let mut system = EdgeSliceSystem::new(
+//!     config,
+//!     OrchestratorKind::Learned(Technique::Ddpg),
+//!     &AgentConfig::default(),
+//!     &mut rng,
+//! );
+//! system.train(20_000, &mut rng);
+//! let report = system.run(10, &mut rng);
+//! println!("system performance: {}", report.final_system_performance());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod agent;
+mod baseline;
+mod checkpoint;
+mod coordinator;
+mod env;
+mod ids;
+mod managers;
+mod monitor;
+mod orchestrator;
+mod overhead;
+mod perf;
+mod reward;
+mod sla;
+
+pub use admission::{
+    AdmissionController, DemandEstimate, RejectReason, SliceRequest,
+};
+pub use agent::{AgentBackend, AgentConfig, OrchestrationAgent};
+pub use checkpoint::{CheckpointError, FrozenPolicy, PolicyCheckpoint};
+pub use baseline::Taro;
+pub use coordinator::{CoordinationInfo, PerformanceCoordinator};
+pub use env::{RaEnvConfig, RaSliceEnv, ServiceModel, StateSpec};
+pub use ids::{RaId, ResourceKind, SliceId};
+pub use managers::{ManagerError, ResourceManagers, SliceAllocation};
+pub use monitor::{MonitorRecord, SystemMonitor};
+pub use orchestrator::{
+    project_action_per_resource, EdgeSliceSystem, OrchestratorKind, RoundRecord, RunReport,
+    SystemConfig, TrafficKind,
+};
+pub use overhead::{OverheadModel, RoundTraffic};
+pub use perf::{NegServiceTime, PerformanceFunction, QueuePenalty};
+pub use reward::{reward, RewardParams};
+pub use sla::{Sla, SliceSpec};

@@ -1,0 +1,185 @@
+//! The resource managers and interfaces (paper Sec. V, Fig. 2).
+//!
+//! The orchestration agent's decision reaches the infrastructure through
+//! three managers — radio (VR-R), transport (VR-T) and computing (VR-C) —
+//! each a middleware over its platform (OAI / ODL / CUDA in the prototype;
+//! the [`edgeslice_netsim`] simulators here). The managers hide platform
+//! mechanics (PRB mapping, make-before-break meter swaps, kernel splits)
+//! behind a uniform *virtual resource* abstraction.
+
+use edgeslice_netsim::{DomainShares, ResourceAutonomy, SliceRates};
+use serde::{Deserialize, Serialize};
+
+use crate::{RaId, ResourceKind, SliceId};
+
+/// A VR (virtual resource) message: one slice's end-to-end allocation in
+/// one RA for the next time interval (the agent's action, Eq. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceAllocation {
+    /// The slice being configured.
+    pub slice: SliceId,
+    /// Its per-domain shares.
+    pub shares: DomainShares,
+}
+
+/// Errors raised by the manager layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ManagerError {
+    /// An allocation referenced a slice the RA does not serve.
+    UnknownSlice {
+        /// The offending slice.
+        slice: SliceId,
+        /// Slices actually served.
+        served: usize,
+    },
+    /// The same slice appeared twice in one update.
+    DuplicateSlice {
+        /// The duplicated slice.
+        slice: SliceId,
+    },
+}
+
+impl std::fmt::Display for ManagerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ManagerError::UnknownSlice { slice, served } => {
+                write!(f, "{slice} is not served by this RA ({served} slices)")
+            }
+            ManagerError::DuplicateSlice { slice } => {
+                write!(f, "{slice} appears more than once in the update")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManagerError {}
+
+/// The manager stack of one RA: applies VR updates atomically across all
+/// three domains and reports the achieved rates back (the information the
+/// system monitor collects over the VR interface).
+#[derive(Debug)]
+pub struct ResourceManagers {
+    ra_id: RaId,
+    ra: ResourceAutonomy,
+    /// Last rates produced, for the monitor.
+    last_rates: Vec<SliceRates>,
+}
+
+impl ResourceManagers {
+    /// Wraps the manager stack around an RA's substrates.
+    pub fn new(ra_id: RaId, ra: ResourceAutonomy) -> Self {
+        Self { ra_id, ra, last_rates: Vec::new() }
+    }
+
+    /// Builds the prototype manager stack for RA `ra_id` serving
+    /// `n_slices` slices.
+    pub fn prototype(ra_id: RaId, n_slices: usize) -> Self {
+        Self::new(ra_id, ResourceAutonomy::prototype(ra_id.0, n_slices))
+    }
+
+    /// The RA this stack manages.
+    pub fn ra_id(&self) -> RaId {
+        self.ra_id
+    }
+
+    /// The underlying substrates (read-only).
+    pub fn substrates(&self) -> &ResourceAutonomy {
+        &self.ra
+    }
+
+    /// Applies a full VR update (one allocation per served slice; order
+    /// free) and returns the achieved per-slice rates in slice order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ManagerError`] if a slice is unknown, duplicated, or
+    /// missing.
+    pub fn apply(&mut self, updates: &[SliceAllocation]) -> Result<Vec<SliceRates>, ManagerError> {
+        let n = self.ra.n_slices();
+        let mut shares = vec![None; n];
+        for u in updates {
+            if u.slice.0 >= n {
+                return Err(ManagerError::UnknownSlice { slice: u.slice, served: n });
+            }
+            if shares[u.slice.0].replace(u.shares).is_some() {
+                return Err(ManagerError::DuplicateSlice { slice: u.slice });
+            }
+        }
+        // Slices without an explicit update keep nothing (zero resources):
+        // the radio manager simply does not schedule them.
+        let shares: Vec<DomainShares> = shares
+            .into_iter()
+            .map(|s| s.unwrap_or(DomainShares::new(0.0, 0.0, 0.0)))
+            .collect();
+        let rates = self.ra.apply(&shares);
+        self.last_rates = rates.clone();
+        Ok(rates)
+    }
+
+    /// The rates achieved by the most recent update.
+    pub fn last_rates(&self) -> &[SliceRates] {
+        &self.last_rates
+    }
+
+    /// The rate a slice obtains in one domain, from the last update.
+    pub fn rate_of(&self, slice: SliceId, kind: ResourceKind) -> Option<f64> {
+        self.last_rates.get(slice.0).map(|r| match kind {
+            ResourceKind::Radio => r.radio_mbps,
+            ResourceKind::Transport => r.transport_mbps,
+            ResourceKind::Computing => r.compute_gflops_s,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn managers() -> ResourceManagers {
+        ResourceManagers::prototype(RaId(0), 2)
+    }
+
+    #[test]
+    fn apply_routes_to_all_domains() {
+        let mut m = managers();
+        let rates = m
+            .apply(&[
+                SliceAllocation { slice: SliceId(0), shares: DomainShares::new(0.6, 0.5, 0.25) },
+                SliceAllocation { slice: SliceId(1), shares: DomainShares::new(0.4, 0.5, 0.75) },
+            ])
+            .unwrap();
+        assert_eq!(rates.len(), 2);
+        assert!(rates[0].radio_mbps > rates[1].radio_mbps);
+        assert!(rates[1].compute_gflops_s > rates[0].compute_gflops_s);
+        assert_eq!(m.rate_of(SliceId(0), ResourceKind::Transport), Some(rates[0].transport_mbps));
+    }
+
+    #[test]
+    fn unknown_slice_is_rejected() {
+        let mut m = managers();
+        let err = m
+            .apply(&[SliceAllocation { slice: SliceId(9), shares: DomainShares::new(0.1, 0.1, 0.1) }])
+            .unwrap_err();
+        assert!(matches!(err, ManagerError::UnknownSlice { .. }));
+        assert!(err.to_string().contains("slice-9"));
+    }
+
+    #[test]
+    fn duplicate_slice_is_rejected() {
+        let mut m = managers();
+        let a = SliceAllocation { slice: SliceId(0), shares: DomainShares::new(0.1, 0.1, 0.1) };
+        assert!(matches!(m.apply(&[a, a]), Err(ManagerError::DuplicateSlice { .. })));
+    }
+
+    #[test]
+    fn missing_slice_gets_zero_resources() {
+        let mut m = managers();
+        let rates = m
+            .apply(&[SliceAllocation { slice: SliceId(0), shares: DomainShares::new(0.5, 0.5, 0.5) }])
+            .unwrap();
+        assert_eq!(rates[1].radio_mbps, 0.0);
+        assert_eq!(rates[1].transport_mbps, 0.0);
+        assert_eq!(rates[1].compute_gflops_s, 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! The system monitor (paper Sec. V-D): collects network state and slice
+//! performance across the system, keeps the user↔slice association
+//! database, and serves aggregates to the performance coordinator over the
+//! RC-M interface.
+
+use std::collections::BTreeMap;
+
+use edgeslice_netsim::radio::Imsi;
+use edgeslice_netsim::transport::IpAddr;
+use serde::{Deserialize, Serialize};
+
+use crate::{RaId, SliceId};
+
+/// One monitored interval for one (slice, RA).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorRecord {
+    /// Coordination round.
+    pub round: usize,
+    /// Interval index within the round (`t ∈ T`).
+    pub interval: usize,
+    /// The RA.
+    pub ra: RaId,
+    /// The slice.
+    pub slice: SliceId,
+    /// Queue length at interval end.
+    pub queue: f64,
+    /// Reported performance `U`.
+    pub performance: f64,
+    /// Applied shares `[radio, transport, compute]`.
+    pub shares: [f64; 3],
+}
+
+/// The monitor database.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SystemMonitor {
+    records: Vec<MonitorRecord>,
+    /// IMSI → slice (learned from S1AP via the radio manager).
+    imsi_assoc: BTreeMap<Imsi, SliceId>,
+    /// IP → slice (used by transport and computing managers).
+    ip_assoc: BTreeMap<IpAddr, SliceId>,
+}
+
+impl SystemMonitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a user↔slice association by IMSI.
+    pub fn associate_imsi(&mut self, imsi: Imsi, slice: SliceId) {
+        self.imsi_assoc.insert(imsi, slice);
+    }
+
+    /// Registers a user↔slice association by IP.
+    pub fn associate_ip(&mut self, ip: IpAddr, slice: SliceId) {
+        self.ip_assoc.insert(ip, slice);
+    }
+
+    /// Looks up a slice by IMSI.
+    pub fn slice_by_imsi(&self, imsi: Imsi) -> Option<SliceId> {
+        self.imsi_assoc.get(&imsi).copied()
+    }
+
+    /// Looks up a slice by IP.
+    pub fn slice_by_ip(&self, ip: IpAddr) -> Option<SliceId> {
+        self.ip_assoc.get(&ip).copied()
+    }
+
+    /// Appends an interval record (the VR-interface report).
+    pub fn record(&mut self, record: MonitorRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in arrival order.
+    pub fn records(&self) -> &[MonitorRecord] {
+        &self.records
+    }
+
+    /// RC-M query: `Σ_t U_{i,j}` for one round, indexed `[slice][ra]` —
+    /// exactly what the coordinator's update consumes.
+    pub fn round_performance(
+        &self,
+        round: usize,
+        n_slices: usize,
+        n_ras: usize,
+    ) -> Vec<Vec<f64>> {
+        let mut out = vec![vec![0.0; n_ras]; n_slices];
+        for r in self.records.iter().filter(|r| r.round == round) {
+            if r.slice.0 < n_slices && r.ra.0 < n_ras {
+                out[r.slice.0][r.ra.0] += r.performance;
+            }
+        }
+        out
+    }
+
+    /// Total system performance of a round: `Σ_{i,j,t} U`.
+    pub fn round_system_performance(&self, round: usize) -> f64 {
+        self.records
+            .iter()
+            .filter(|r| r.round == round)
+            .map(|r| r.performance)
+            .sum()
+    }
+
+    /// Mean per-resource usage of a slice in a round, `[radio, transport,
+    /// compute]`, averaged over intervals and RAs.
+    pub fn round_usage(&self, round: usize, slice: SliceId) -> [f64; 3] {
+        let mut sums = [0.0; 3];
+        let mut n = 0usize;
+        for r in self.records.iter().filter(|r| r.round == round && r.slice == slice) {
+            for (s, v) in sums.iter_mut().zip(r.shares) {
+                *s += v;
+            }
+            n += 1;
+        }
+        if n > 0 {
+            for s in &mut sums {
+                *s /= n as f64;
+            }
+        }
+        sums
+    }
+
+    /// System-wide performance per global time interval (`Σ_{i,j} U` at
+    /// `round·T + t`), the series Fig. 6a plots.
+    pub fn interval_system_series(&self, period: usize) -> Vec<f64> {
+        let n = self.rounds() * period;
+        let mut out = vec![0.0; n];
+        for r in &self.records {
+            let idx = r.round * period + r.interval;
+            if idx < n {
+                out[idx] += r.performance;
+            }
+        }
+        out
+    }
+
+    /// One slice's network-wide performance per global interval (`Σ_j U`),
+    /// the series Fig. 6b plots.
+    pub fn slice_interval_series(&self, slice: SliceId, period: usize) -> Vec<f64> {
+        let n = self.rounds() * period;
+        let mut out = vec![0.0; n];
+        for r in self.records.iter().filter(|r| r.slice == slice) {
+            let idx = r.round * period + r.interval;
+            if idx < n {
+                out[idx] += r.performance;
+            }
+        }
+        out
+    }
+
+    /// One slice's mean usage of one resource per global interval (averaged
+    /// over RAs), the series Fig. 7 plots.
+    pub fn usage_interval_series(
+        &self,
+        slice: SliceId,
+        resource: crate::ResourceKind,
+        period: usize,
+        n_ras: usize,
+    ) -> Vec<f64> {
+        let n = self.rounds() * period;
+        let mut out = vec![0.0; n];
+        for r in self.records.iter().filter(|r| r.slice == slice) {
+            let idx = r.round * period + r.interval;
+            if idx < n {
+                out[idx] += r.shares[resource.index()] / n_ras.max(1) as f64;
+            }
+        }
+        out
+    }
+
+    /// Number of completed rounds present in the database.
+    pub fn rounds(&self) -> usize {
+        self.records.iter().map(|r| r.round + 1).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(round: usize, ra: usize, slice: usize, perf: f64) -> MonitorRecord {
+        MonitorRecord {
+            round,
+            interval: 0,
+            ra: RaId(ra),
+            slice: SliceId(slice),
+            queue: 1.0,
+            performance: perf,
+            shares: [0.5, 0.3, 0.2],
+        }
+    }
+
+    #[test]
+    fn associations_by_imsi_and_ip() {
+        let mut m = SystemMonitor::new();
+        m.associate_imsi(Imsi(7), SliceId(1));
+        m.associate_ip(IpAddr([10, 0, 0, 1]), SliceId(0));
+        assert_eq!(m.slice_by_imsi(Imsi(7)), Some(SliceId(1)));
+        assert_eq!(m.slice_by_ip(IpAddr([10, 0, 0, 1])), Some(SliceId(0)));
+        assert_eq!(m.slice_by_imsi(Imsi(8)), None);
+    }
+
+    #[test]
+    fn round_performance_aggregates_per_slice_ra() {
+        let mut m = SystemMonitor::new();
+        m.record(rec(0, 0, 0, -2.0));
+        m.record(rec(0, 0, 0, -3.0));
+        m.record(rec(0, 1, 0, -1.0));
+        m.record(rec(0, 0, 1, -4.0));
+        m.record(rec(1, 0, 0, -99.0)); // other round
+        let agg = m.round_performance(0, 2, 2);
+        assert_eq!(agg[0][0], -5.0);
+        assert_eq!(agg[0][1], -1.0);
+        assert_eq!(agg[1][0], -4.0);
+        assert_eq!(m.round_system_performance(0), -10.0);
+    }
+
+    #[test]
+    fn usage_is_averaged() {
+        let mut m = SystemMonitor::new();
+        m.record(rec(0, 0, 0, 0.0));
+        let mut r2 = rec(0, 1, 0, 0.0);
+        r2.shares = [0.1, 0.1, 0.4];
+        m.record(r2);
+        let u = m.round_usage(0, SliceId(0));
+        assert!((u[0] - 0.3).abs() < 1e-12);
+        assert!((u[2] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_series_flatten_rounds() {
+        let mut m = SystemMonitor::new();
+        let mut r1 = rec(0, 0, 0, -1.0);
+        r1.interval = 0;
+        m.record(r1);
+        let mut r2 = rec(0, 0, 0, -2.0);
+        r2.interval = 1;
+        m.record(r2);
+        let mut r3 = rec(1, 0, 0, -3.0);
+        r3.interval = 0;
+        m.record(r3);
+        let series = m.interval_system_series(2);
+        assert_eq!(series, vec![-1.0, -2.0, -3.0, 0.0]);
+        let s0 = m.slice_interval_series(SliceId(0), 2);
+        assert_eq!(s0, series);
+        let usage = m.usage_interval_series(SliceId(0), crate::ResourceKind::Radio, 2, 1);
+        assert_eq!(usage[0], 0.5);
+    }
+
+    #[test]
+    fn rounds_counts_max() {
+        let mut m = SystemMonitor::new();
+        assert_eq!(m.rounds(), 0);
+        m.record(rec(2, 0, 0, 0.0));
+        assert_eq!(m.rounds(), 3);
+    }
+}

@@ -1,0 +1,565 @@
+//! The EdgeSlice resource-orchestration workflow (paper Alg. 1).
+//!
+//! A period `T` at a time, every RA's orchestration agent acts on its local
+//! state under the current coordinating information; at the period's end
+//! the performance coordinator runs the `z`/`y` updates and broadcasts
+//! fresh `z − y`, iterating until the ADMM residuals converge.
+
+use std::sync::Arc;
+
+use edgeslice_optim::{project_capacity, AdmmConfig, AdmmResiduals};
+use edgeslice_rl::Technique;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use edgeslice_netsim::{
+    AppProfile, ComputationModel, DiurnalTrace, FrameResolution, PoissonTraffic, TrafficSource,
+};
+
+use crate::{
+    AgentConfig, CoordinationInfo, MonitorRecord, OrchestrationAgent, PerformanceCoordinator,
+    PerformanceFunction, QueuePenalty, RaEnvConfig, RaId, RaSliceEnv, RewardParams, Sla,
+    SliceId, SliceSpec, StateSpec, SystemMonitor,
+};
+
+/// Traffic model shared by every (slice, RA) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficKind {
+    /// Stationary Poisson arrivals (prototype experiments, rate 10).
+    Poisson(f64),
+    /// Synthetic diurnal traces (trace-driven simulations), randomized per
+    /// (slice, RA) around the given base rate.
+    Diurnal {
+        /// Peak arrivals per interval.
+        base: f64,
+    },
+}
+
+/// Full system configuration.
+#[derive(Clone)]
+pub struct SystemConfig {
+    /// Slice specifications (apps + SLAs).
+    pub slices: Vec<SliceSpec>,
+    /// Number of resource autonomies.
+    pub n_ras: usize,
+    /// Reward weights and the period length `T`.
+    pub reward: RewardParams,
+    /// Agent observability (EdgeSlice vs EdgeSlice-NT).
+    pub state_spec: StateSpec,
+    /// ADMM convergence parameters.
+    pub admm: AdmmConfig,
+    /// Traffic model.
+    pub traffic: TrafficKind,
+    /// The hidden slice performance function.
+    pub perf: Arc<dyn PerformanceFunction>,
+    /// Range for randomized coordination during offline training.
+    pub coord_sample_range: (f64, f64),
+    /// Project evaluated actions onto per-resource capacity (what the
+    /// physical managers enforce anyway). Training is never projected.
+    pub project_actions: bool,
+}
+
+impl std::fmt::Debug for SystemConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemConfig")
+            .field("slices", &self.slices.len())
+            .field("n_ras", &self.n_ras)
+            .field("period", &self.reward.period)
+            .field("state_spec", &self.state_spec)
+            .field("traffic", &self.traffic)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemConfig {
+    /// The prototype experiments (Sec. VII-C): 2 slices (traffic-heavy +
+    /// compute-heavy), 2 RAs, Poisson(10) traffic, `t = 1 s`, `T = 10`,
+    /// `Umin = −50`, `ρ = 1`, `β = 20`.
+    pub fn prototype() -> Self {
+        Self {
+            slices: vec![SliceSpec::experiment_slice1(), SliceSpec::experiment_slice2()],
+            n_ras: 2,
+            reward: RewardParams::paper(),
+            state_spec: StateSpec::Full,
+            admm: AdmmConfig::default(),
+            traffic: TrafficKind::Poisson(10.0),
+            perf: Arc::new(QueuePenalty::paper()),
+            coord_sample_range: (-100.0, 25.0),
+            project_actions: true,
+        }
+    }
+
+    /// The trace-driven simulations (Sec. VII-D): `n_slices` slices with
+    /// randomly selected frame resolutions and computation models,
+    /// `n_ras` RAs, diurnal traffic, `T = 24` intervals (one per hour).
+    pub fn simulation(n_slices: usize, n_ras: usize, rng: &mut StdRng) -> Self {
+        // The experiments' Umin = −50 is calibrated to 2 RAs × T=10; keep
+        // the same per-(RA, interval) stringency as the network grows so
+        // the SLA stays meaningful (and the ADMM duals stay interior).
+        let umin = -50.0 * (n_ras as f64 / 2.0) * (24.0 / 10.0);
+        let slices = (0..n_slices)
+            .map(|i| {
+                let res = FrameResolution::ALL[rng.gen_range(0..3)];
+                let model = ComputationModel::ALL[rng.gen_range(0..3)];
+                SliceSpec::new(SliceId(i), AppProfile::new(res, model), Sla::new(umin))
+            })
+            .collect();
+        Self {
+            slices,
+            n_ras,
+            reward: RewardParams { period: 24, ..RewardParams::paper() },
+            state_spec: StateSpec::Full,
+            admm: AdmmConfig::default(),
+            traffic: TrafficKind::Diurnal { base: 12.0 },
+            perf: Arc::new(QueuePenalty::paper()),
+            coord_sample_range: (-100.0, 25.0),
+            project_actions: true,
+        }
+    }
+
+    /// The EdgeSlice-NT ablation of this configuration.
+    pub fn without_traffic_state(mut self) -> Self {
+        self.state_spec = StateSpec::CoordinationOnly;
+        self
+    }
+
+    fn make_traffic(&self, rng: &mut StdRng) -> Vec<Box<dyn TrafficSource + Send>> {
+        self.slices
+            .iter()
+            .map(|_| -> Box<dyn TrafficSource + Send> {
+                match self.traffic {
+                    TrafficKind::Poisson(rate) => Box::new(PoissonTraffic::new(rate)),
+                    TrafficKind::Diurnal { base } => {
+                        Box::new(DiurnalTrace::random_area(base, rng))
+                    }
+                }
+            })
+            .collect()
+    }
+
+    fn make_env(&self, rng: &mut StdRng) -> RaSliceEnv {
+        let env_config = RaEnvConfig {
+            slices: self.slices.clone(),
+            perf: Arc::clone(&self.perf),
+            reward: self.reward,
+            state_spec: self.state_spec,
+            interval_s: 1.0,
+            queue_norm: 25.0,
+            coord_norm: 50.0,
+            coord_sample_range: self.coord_sample_range,
+            randomize_coord: true,
+            queue_capacity: 200.0,
+            squash_training_reward: true,
+            project_shares: true,
+        };
+        RaSliceEnv::with_dataset(env_config, self.make_traffic(rng))
+    }
+}
+
+/// Which orchestration policy drives the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrchestratorKind {
+    /// A learned per-RA agent (EdgeSlice / EdgeSlice-NT, by state spec).
+    Learned(Technique),
+    /// The TARO proportional baseline.
+    Taro,
+}
+
+/// One coordination round's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round index.
+    pub round: usize,
+    /// `Σ_{i,j,t} U` of the round.
+    pub system_performance: f64,
+    /// `Σ_{j,t} U` per slice.
+    pub slice_performance: Vec<f64>,
+    /// Mean `[radio, transport, compute]` usage per slice.
+    pub usage: Vec<[f64; 3]>,
+    /// ADMM residuals after the coordinator update.
+    pub residuals: AdmmResiduals,
+    /// Whether each slice's SLA held this round.
+    pub sla_met: Vec<bool>,
+}
+
+/// The full run's outcome.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Per-round records, in order.
+    pub rounds: Vec<RoundRecord>,
+}
+
+impl RunReport {
+    /// System performance of the final round.
+    pub fn final_system_performance(&self) -> f64 {
+        self.rounds.last().map_or(0.0, |r| r.system_performance)
+    }
+
+    /// Serializes the report to JSON (for offline analysis/plotting).
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's message on failure (practically
+    /// impossible).
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    }
+
+    /// Mean system performance over the last `n` rounds (a stabler
+    /// convergence figure than the single final round).
+    pub fn tail_system_performance(&self, n: usize) -> f64 {
+        if self.rounds.is_empty() {
+            return 0.0;
+        }
+        let tail = &self.rounds[self.rounds.len().saturating_sub(n)..];
+        tail.iter().map(|r| r.system_performance).sum::<f64>() / tail.len() as f64
+    }
+}
+
+/// The assembled EdgeSlice system: envs + agents + coordinator + monitor.
+pub struct EdgeSliceSystem {
+    config: SystemConfig,
+    kind: OrchestratorKind,
+    envs: Vec<RaSliceEnv>,
+    agents: Vec<OrchestrationAgent>,
+    coordinator: PerformanceCoordinator,
+    monitor: SystemMonitor,
+    taro: crate::Taro,
+}
+
+impl std::fmt::Debug for EdgeSliceSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EdgeSliceSystem")
+            .field("kind", &self.kind)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EdgeSliceSystem {
+    /// Assembles the system (envs, coordinator, and — for learned kinds —
+    /// untrained agents).
+    pub fn new(
+        config: SystemConfig,
+        kind: OrchestratorKind,
+        agent_config: &AgentConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let envs: Vec<RaSliceEnv> = (0..config.n_ras).map(|_| config.make_env(rng)).collect();
+        let agents = match kind {
+            OrchestratorKind::Learned(technique) => (0..config.n_ras)
+                .map(|j| {
+                    OrchestrationAgent::new(RaId(j), technique, &envs[j], agent_config, rng)
+                })
+                .collect(),
+            OrchestratorKind::Taro => Vec::new(),
+        };
+        let slas: Vec<Sla> = config.slices.iter().map(|s| s.sla).collect();
+        let coordinator = PerformanceCoordinator::new(&slas, config.n_ras, config.admm);
+        Self {
+            config,
+            kind,
+            envs,
+            agents,
+            coordinator,
+            monitor: SystemMonitor::new(),
+            taro: crate::Taro::new(),
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// The monitor database accumulated so far.
+    pub fn monitor(&self) -> &SystemMonitor {
+        &self.monitor
+    }
+
+    /// The performance coordinator.
+    pub fn coordinator(&self) -> &PerformanceCoordinator {
+        &self.coordinator
+    }
+
+    /// Trains every RA's agent offline for ~`env_steps` interactions each
+    /// (randomized coordinating information, Sec. VI-A). No-op for TARO.
+    pub fn train(&mut self, env_steps: usize, rng: &mut StdRng) {
+        for (agent, env) in self.agents.iter_mut().zip(&mut self.envs) {
+            agent.train(env, env_steps, rng);
+        }
+        // Deployment starts from an operational baseline, not whatever
+        // backlog the final training episode left behind.
+        for env in &mut self.envs {
+            env.clear_queues();
+        }
+    }
+
+    /// Trains RA 0's agent and replicates it to every other RA — a large
+    /// speed-up when all RAs are statistically identical (used by the
+    /// scalability sweeps; the paper trains each agent, which is
+    /// embarrassingly parallel on their testbed).
+    pub fn train_shared(&mut self, env_steps: usize, rng: &mut StdRng) {
+        if self.agents.is_empty() {
+            return;
+        }
+        self.agents[0].train(&mut self.envs[0], env_steps, rng);
+        // Re-decide the remaining agents from the trained one's policy by
+        // round-tripping through its backend clone.
+        let trained = self.agents.remove(0);
+        let mut replicas = trained.replicate(self.config.n_ras);
+        for env in &mut self.envs {
+            env.set_randomize_coord(false);
+            // Deployment starts from an operational baseline, not whatever
+            // backlog the final training episode left behind.
+            env.clear_queues();
+        }
+        self.agents.clear();
+        self.agents.append(&mut replicas);
+    }
+
+    /// Installs replicas of a pre-trained agent on every RA (the
+    /// counterpart of [`EdgeSliceSystem::train_shared`] when the agent was
+    /// trained elsewhere, e.g. reused across a scalability sweep whose RA
+    /// count varies but whose slice set does not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this is a TARO system.
+    pub fn install_agents(&mut self, trained: &OrchestrationAgent) {
+        assert!(
+            matches!(self.kind, OrchestratorKind::Learned(_)),
+            "cannot install agents on a TARO system"
+        );
+        self.agents = trained.replicate(self.config.n_ras);
+        for env in &mut self.envs {
+            env.set_randomize_coord(false);
+        }
+    }
+
+    /// A clone of RA 0's (trained) agent, for installation into another
+    /// system of the same slice set (e.g. a different network size in a
+    /// scalability sweep).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a TARO system.
+    pub fn agent0(&self) -> OrchestrationAgent {
+        self.agents.first().expect("learned system has agents").clone()
+    }
+
+    /// A mutable handle to RA 0's environment (used to train an agent that
+    /// will be installed elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no RAs (impossible by construction).
+    pub fn env0_mut(&mut self) -> &mut RaSliceEnv {
+        &mut self.envs[0]
+    }
+
+    /// Runs Alg. 1 for at most `max_rounds` coordination rounds (stopping
+    /// early on ADMM convergence) and reports per-round outcomes.
+    #[allow(clippy::needless_range_loop)] // `j` indexes envs, agents and achieved in lockstep
+    pub fn run(&mut self, max_rounds: usize, rng: &mut StdRng) -> RunReport {
+        let n_slices = self.config.slices.len();
+        let n_ras = self.config.n_ras;
+        let period = self.config.reward.period;
+        for env in &mut self.envs {
+            env.set_randomize_coord(false);
+        }
+        let mut report = RunReport::default();
+        let start_round = self.monitor.rounds();
+        for round_off in 0..max_rounds {
+            let round = start_round + round_off;
+            let info: CoordinationInfo = self.coordinator.coordination_info();
+            let mut achieved = vec![vec![0.0; n_ras]; n_slices];
+            for j in 0..n_ras {
+                let env = &mut self.envs[j];
+                env.set_coordination(&info.for_ra(RaId(j)));
+                for t in 0..period {
+                    let mut action = match self.kind {
+                        OrchestratorKind::Learned(_) => self.agents[j].decide(&env.observe()),
+                        OrchestratorKind::Taro => self.taro.action(&env.queue_lengths()),
+                    };
+                    if self.config.project_actions {
+                        project_action_per_resource(&mut action, n_slices);
+                    }
+                    let (_, perf) = env.advance(&action, rng);
+                    let shares = env.last_shares();
+                    for i in 0..n_slices {
+                        achieved[i][j] += perf[i];
+                        self.monitor.record(MonitorRecord {
+                            round,
+                            interval: t,
+                            ra: RaId(j),
+                            slice: SliceId(i),
+                            queue: env.queue_lengths()[i],
+                            performance: perf[i],
+                            shares: shares[i].as_array(),
+                        });
+                    }
+                }
+            }
+            let residuals = self.coordinator.update(&achieved);
+            let slice_performance: Vec<f64> =
+                achieved.iter().map(|row| row.iter().sum()).collect();
+            let sla_met: Vec<bool> = self
+                .config
+                .slices
+                .iter()
+                .map(|s| slice_performance[s.id.0] >= s.sla.umin - 1e-9)
+                .collect();
+            let usage: Vec<[f64; 3]> =
+                (0..n_slices).map(|i| self.monitor.round_usage(round, SliceId(i))).collect();
+            report.rounds.push(RoundRecord {
+                round,
+                system_performance: slice_performance.iter().sum(),
+                slice_performance,
+                usage,
+                residuals,
+                sla_met,
+            });
+            if self.coordinator.converged() {
+                break;
+            }
+        }
+        report
+    }
+}
+
+/// Projects a flat slice-major action onto per-resource capacity
+/// (`Σ_i x_{i,k} ≤ 1` for each `k`), preserving ratios — the same
+/// enforcement the physical managers apply.
+pub fn project_action_per_resource(action: &mut [f64], n_slices: usize) {
+    let k = crate::ResourceKind::COUNT;
+    debug_assert_eq!(action.len(), n_slices * k);
+    for kind in 0..k {
+        let mut column: Vec<f64> = (0..n_slices).map(|i| action[i * k + kind]).collect();
+        project_capacity(&mut column, 1.0);
+        for (i, v) in column.into_iter().enumerate() {
+            action[i * k + kind] = v;
+        }
+    }
+}
+
+impl OrchestrationAgent {
+    /// Clones this trained agent into `n` per-RA replicas (see
+    /// [`EdgeSliceSystem::train_shared`]).
+    pub fn replicate(&self, n: usize) -> Vec<OrchestrationAgent> {
+        (0..n).map(|j| self.clone_for_ra(RaId(j))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn quick_agent_config() -> AgentConfig {
+        AgentConfig {
+            ddpg: edgeslice_rl::DdpgConfig {
+                hidden: 16,
+                batch_size: 32,
+                warmup: 50,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn taro_system_runs_and_reports() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let config = SystemConfig::prototype();
+        let mut sys =
+            EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), &mut rng);
+        let report = sys.run(3, &mut rng);
+        assert!(!report.rounds.is_empty());
+        let r0 = &report.rounds[0];
+        assert_eq!(r0.slice_performance.len(), 2);
+        assert_eq!(r0.usage.len(), 2);
+        // TARO's per-domain usage is identical across resources by design.
+        for u in &r0.usage {
+            assert!((u[0] - u[1]).abs() < 1e-9);
+            assert!((u[1] - u[2]).abs() < 1e-9);
+        }
+        assert!(r0.system_performance < 0.0);
+    }
+
+    #[test]
+    fn learned_system_trains_and_runs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let config = SystemConfig::prototype();
+        let mut sys = EdgeSliceSystem::new(
+            config,
+            OrchestratorKind::Learned(Technique::Ddpg),
+            &quick_agent_config(),
+            &mut rng,
+        );
+        sys.train(300, &mut rng);
+        let report = sys.run(2, &mut rng);
+        assert_eq!(report.rounds.len().min(2), report.rounds.len());
+        assert!(report.final_system_performance().is_finite());
+        // Monitor saw every (round, interval, ra, slice) tuple.
+        let expected = report.rounds.len() * 10 * 2 * 2;
+        assert_eq!(sys.monitor().records().len(), expected);
+    }
+
+    #[test]
+    fn action_projection_caps_each_resource() {
+        let mut a = vec![0.8, 0.2, 0.6, 0.8, 0.2, 0.6];
+        project_action_per_resource(&mut a, 2);
+        // Radio column: 0.8 + 0.8 = 1.6 → scaled to 1.0 keeping ratio.
+        assert!((a[0] - 0.5).abs() < 1e-12);
+        assert!((a[3] - 0.5).abs() < 1e-12);
+        // Transport column was feasible: untouched.
+        assert_eq!(a[1], 0.2);
+        assert_eq!(a[4], 0.2);
+        // Compute column: 1.2 → 0.5/0.5.
+        assert!((a[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_report_serializes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sys = EdgeSliceSystem::new(
+            SystemConfig::prototype(),
+            OrchestratorKind::Taro,
+            &AgentConfig::default(),
+            &mut rng,
+        );
+        let report = sys.run(1, &mut rng);
+        let json = report.to_json().unwrap();
+        assert!(json.contains("system_performance"));
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn simulation_config_shapes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let c = SystemConfig::simulation(5, 10, &mut rng);
+        assert_eq!(c.slices.len(), 5);
+        assert_eq!(c.n_ras, 10);
+        assert_eq!(c.reward.period, 24);
+        let nt = c.clone().without_traffic_state();
+        assert_eq!(nt.state_spec, StateSpec::CoordinationOnly);
+    }
+
+    #[test]
+    fn train_shared_replicates_one_agent() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = SystemConfig::prototype();
+        let mut sys = EdgeSliceSystem::new(
+            config,
+            OrchestratorKind::Learned(Technique::Ddpg),
+            &quick_agent_config(),
+            &mut rng,
+        );
+        sys.train_shared(150, &mut rng);
+        let report = sys.run(1, &mut rng);
+        assert_eq!(report.rounds.len(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Slice performance functions.
+//!
+//! The evaluation defines `U = −(l)^α` with `α = 2` over the queue length
+//! `l` (Sec. VII), deliberately *not* revealed to the coordinator or agents
+//! — EdgeSlice must learn it. Fig. 11a varies `α ∈ {1.0, 1.5, 2.0, 2.5}`;
+//! Fig. 11b swaps in a performance function that only depends on the
+//! service time, eliminating the value of observing traffic.
+
+use serde::{Deserialize, Serialize};
+
+/// A per-interval slice performance metric `U_{i,j}^{(t)}`.
+///
+/// Implementations receive the slice's queue length at the end of the
+/// interval and the per-task service time produced by the current resource
+/// orchestration.
+pub trait PerformanceFunction: Send + Sync {
+    /// Evaluates the performance (higher is better; the paper's functions
+    /// are ≤ 0).
+    fn evaluate(&self, queue_len: f64, service_time_s: f64) -> f64;
+
+    /// A short label for reports.
+    fn label(&self) -> String;
+}
+
+/// The paper's default: `U = −l^α` (Sec. VII, Fig. 11a).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QueuePenalty {
+    /// The exponent α.
+    pub alpha: f64,
+}
+
+impl QueuePenalty {
+    /// Creates the penalty with the given exponent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not positive.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        Self { alpha }
+    }
+
+    /// The paper's default `α = 2`.
+    pub fn paper() -> Self {
+        Self::new(2.0)
+    }
+}
+
+impl PerformanceFunction for QueuePenalty {
+    fn evaluate(&self, queue_len: f64, _service_time_s: f64) -> f64 {
+        -queue_len.max(0.0).powf(self.alpha)
+    }
+
+    fn label(&self) -> String {
+        format!("-l^{}", self.alpha)
+    }
+}
+
+/// Fig. 11b's alternative: the negative service time of slice users,
+/// independent of the queue — designed so that observing traffic carries no
+/// information.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NegServiceTime {
+    /// Cap applied to unserved (infinite) service times, seconds.
+    pub cap_s: f64,
+}
+
+impl NegServiceTime {
+    /// Creates the metric with a cap for unserved intervals.
+    pub fn new(cap_s: f64) -> Self {
+        Self { cap_s }
+    }
+
+    /// A sensible default cap (10 s).
+    pub fn paper() -> Self {
+        Self::new(10.0)
+    }
+}
+
+impl PerformanceFunction for NegServiceTime {
+    fn evaluate(&self, _queue_len: f64, service_time_s: f64) -> f64 {
+        -service_time_s.min(self.cap_s)
+    }
+
+    fn label(&self) -> String {
+        "-service_time".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_penalty_matches_paper_default() {
+        let u = QueuePenalty::paper();
+        assert_eq!(u.evaluate(0.0, 1.0), 0.0);
+        assert_eq!(u.evaluate(5.0, 1.0), -25.0);
+        assert_eq!(u.evaluate(10.0, 99.0), -100.0);
+    }
+
+    #[test]
+    fn larger_alpha_reports_worse_performance() {
+        // Fig. 11a's premise: same queue, larger α ⇒ lower U.
+        let l = 7.0;
+        let mut prev = QueuePenalty::new(1.0).evaluate(l, 0.0);
+        for alpha in [1.5, 2.0, 2.5] {
+            let u = QueuePenalty::new(alpha).evaluate(l, 0.0);
+            assert!(u < prev, "alpha {alpha}");
+            prev = u;
+        }
+    }
+
+    #[test]
+    fn queue_penalty_ignores_service_time() {
+        let u = QueuePenalty::paper();
+        assert_eq!(u.evaluate(3.0, 0.1), u.evaluate(3.0, 100.0));
+    }
+
+    #[test]
+    fn neg_service_time_ignores_queue() {
+        let u = NegServiceTime::paper();
+        assert_eq!(u.evaluate(0.0, 0.5), u.evaluate(100.0, 0.5));
+        assert_eq!(u.evaluate(0.0, 0.5), -0.5);
+    }
+
+    #[test]
+    fn neg_service_time_caps_unserved() {
+        let u = NegServiceTime::new(10.0);
+        assert_eq!(u.evaluate(0.0, f64::INFINITY), -10.0);
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(QueuePenalty::paper().label(), "-l^2");
+        assert_eq!(NegServiceTime::paper().label(), "-service_time");
+    }
+}

@@ -1,0 +1,126 @@
+//! The orchestration agent's reward function (paper Eq. 15).
+//!
+//! ```text
+//! r(s_t, a_t) = Σ_i ( U_i − (ρ/2) ‖U_i − (z_i − y_i)/T‖² )
+//!               − β Σ_k [ Σ_i x_{i,k} − Rtot_k ]⁺
+//! ```
+//!
+//! The first term approximates the per-RA augmented Lagrangian `P3` with
+//! identical sub-objectives per time interval (`Σ_t U ≈ T·U^{(t)}`, so the
+//! per-interval consensus target is `(z − y)/T`). The printed equation
+//! carries `z + y`, but the augmented Lagrangian (Eq. 7) penalizes
+//! `‖Σ_t U − z + y‖²`, whose per-interval target is `(z − y)/T`; the state
+//! definition (Eq. 13) also transmits `z − y`, so we implement the
+//! consistent `z − y` form. The second term reward-shapes the per-RA
+//! capacity constraint (3): a penalty of weight β (paper: 20) per unit of
+//! over-allocation in each resource.
+
+use serde::{Deserialize, Serialize};
+
+/// Weights of the reward function.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RewardParams {
+    /// Augmented-Lagrangian weight ρ (paper: 1.0).
+    pub rho: f64,
+    /// Capacity-violation weight β (paper: 20).
+    pub beta: f64,
+    /// Intervals per period `T` (paper: 10 in experiments, 24 in
+    /// simulations).
+    pub period: usize,
+}
+
+impl RewardParams {
+    /// The paper's experimental parameters: `ρ = 1`, `β = 20`, `T = 10`.
+    pub fn paper() -> Self {
+        Self { rho: 1.0, beta: 20.0, period: 10 }
+    }
+}
+
+/// Computes Eq. 15 for one RA and one time interval.
+///
+/// * `performance[i]` — `U_{i,j}^{(t)}` per slice;
+/// * `coordination[i]` — `z_{i,j} − y_{i,j}` per slice (the coordinator's
+///   message, also part of the state);
+/// * `resource_sums[k]` — `Σ_i x_{i,j,k}` per resource, in units where the
+///   RA capacity is `capacity[k]`.
+///
+/// # Panics
+///
+/// Panics if `performance` and `coordination` lengths differ or
+/// `resource_sums` and `capacity` lengths differ.
+pub fn reward(
+    params: &RewardParams,
+    performance: &[f64],
+    coordination: &[f64],
+    resource_sums: &[f64],
+    capacity: &[f64],
+) -> f64 {
+    assert_eq!(performance.len(), coordination.len(), "slice count mismatch");
+    assert_eq!(resource_sums.len(), capacity.len(), "resource count mismatch");
+    let t = params.period.max(1) as f64;
+    let mut r = 0.0;
+    for (&u, &zy) in performance.iter().zip(coordination) {
+        let target = zy / t;
+        r += u - params.rho / 2.0 * (u - target).powi(2);
+    }
+    for (&sum, &cap) in resource_sums.iter().zip(capacity) {
+        r -= params.beta * (sum - cap).max(0.0);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> RewardParams {
+        RewardParams { rho: 1.0, beta: 20.0, period: 10 }
+    }
+
+    #[test]
+    fn reward_is_maximal_at_consensus_without_violation() {
+        // U hits the per-interval target exactly and capacity is respected.
+        let r = reward(&p(), &[-2.0], &[-20.0], &[0.9], &[1.0]);
+        assert_eq!(r, -2.0); // penalty terms vanish
+    }
+
+    #[test]
+    fn deviation_from_target_is_quadratic() {
+        let base = reward(&p(), &[-2.0], &[-20.0], &[0.0], &[1.0]);
+        let off1 = reward(&p(), &[-3.0], &[-20.0], &[0.0], &[1.0]);
+        let off2 = reward(&p(), &[-4.0], &[-20.0], &[0.0], &[1.0]);
+        // Penalties: 0, 0.5, 2.0 (plus the linear U term).
+        assert!((base - off1 - (1.0 + 0.5)).abs() < 1e-12);
+        assert!((base - off2 - (2.0 + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_violation_is_linear_with_weight_beta() {
+        let ok = reward(&p(), &[0.0], &[0.0], &[1.0], &[1.0]);
+        let over1 = reward(&p(), &[0.0], &[0.0], &[1.1], &[1.0]);
+        let over2 = reward(&p(), &[0.0], &[0.0], &[1.2], &[1.0]);
+        assert!((ok - over1 - 2.0).abs() < 1e-9); // 20 * 0.1
+        assert!((ok - over2 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn under_allocation_is_not_penalized() {
+        let a = reward(&p(), &[0.0], &[0.0], &[0.2], &[1.0]);
+        let b = reward(&p(), &[0.0], &[0.0], &[0.8], &[1.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multiple_resources_penalized_independently() {
+        let r = reward(&p(), &[0.0], &[0.0], &[1.1, 0.5, 1.2], &[1.0, 1.0, 1.0]);
+        assert!((r + 20.0 * 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_params() {
+        let params = RewardParams::paper();
+        assert_eq!(params.rho, 1.0);
+        assert_eq!(params.beta, 20.0);
+        assert_eq!(params.period, 10);
+    }
+}

@@ -1,0 +1,76 @@
+//! Service-level agreements and slice specifications (the SR interface's
+//! payload, Sec. V-D).
+
+use edgeslice_netsim::AppProfile;
+use serde::{Deserialize, Serialize};
+
+use crate::SliceId;
+
+/// A slice tenant's SLA: the minimum network-wide performance
+/// `Umin_i` over a time period `T` (constraint (2) of problem `P0`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sla {
+    /// Minimum `Σ_{t,j} U_{i,j}^{(t)}` per period.
+    pub umin: f64,
+}
+
+impl Sla {
+    /// Creates an SLA.
+    pub fn new(umin: f64) -> Self {
+        Self { umin }
+    }
+
+    /// The paper's experimental requirement `Umin = −50` (Sec. VII).
+    pub fn paper() -> Self {
+        Self::new(-50.0)
+    }
+}
+
+/// Everything a tenant submits through the SR (slice request) interface to
+/// instantiate a slice: its identity, application profile, and SLA.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SliceSpec {
+    /// The slice's identity.
+    pub id: SliceId,
+    /// The application the slice carries (drives per-task resource
+    /// demands).
+    pub app: AppProfile,
+    /// The negotiated SLA.
+    pub sla: Sla,
+}
+
+impl SliceSpec {
+    /// Creates a slice specification.
+    pub fn new(id: SliceId, app: AppProfile, sla: Sla) -> Self {
+        Self { id, app, sla }
+    }
+
+    /// The experiments' slice 1: traffic-heavy app, `Umin = −50`.
+    pub fn experiment_slice1() -> Self {
+        Self::new(SliceId(0), AppProfile::traffic_heavy(), Sla::paper())
+    }
+
+    /// The experiments' slice 2: compute-heavy app, `Umin = −50`.
+    pub fn experiment_slice2() -> Self {
+        Self::new(SliceId(1), AppProfile::compute_heavy(), Sla::paper())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_sla_is_minus_fifty() {
+        assert_eq!(Sla::paper().umin, -50.0);
+    }
+
+    #[test]
+    fn experiment_slices_have_opposite_apps() {
+        let s1 = SliceSpec::experiment_slice1();
+        let s2 = SliceSpec::experiment_slice2();
+        assert_ne!(s1.id, s2.id);
+        assert!(s1.app.radio_bits() > s2.app.radio_bits());
+        assert!(s2.app.compute_gflops() > s1.app.compute_gflops());
+    }
+}

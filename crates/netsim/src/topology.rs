@@ -1,0 +1,334 @@
+//! Transport-network topology: a weighted graph of switches with
+//! capacitated links and shortest-path routing.
+//!
+//! The prototype's transport network is a fixed chain of six switches
+//! between the RAN and the edge servers (Table II); production deployments
+//! are meshes. This module generalizes the path model: an SDN controller
+//! computes a route (Dijkstra over link weights), checks residual link
+//! capacity, and the per-flow meters of [`crate::transport`] are then
+//! installed along the chosen path.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+
+/// A node (switch) index in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+/// A directed link with a routing weight and a bandwidth capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct Link {
+    to: usize,
+    weight: f64,
+    capacity_mbps: f64,
+    reserved_mbps: f64,
+}
+
+/// Errors from topology operations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A node index was out of range.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// No path exists between the endpoints.
+    NoPath {
+        /// Source.
+        from: NodeId,
+        /// Destination.
+        to: NodeId,
+    },
+    /// The chosen path lacks residual capacity for the reservation.
+    InsufficientCapacity {
+        /// The bottleneck link's residual, Mb/s.
+        residual_mbps: f64,
+        /// The requested reservation, Mb/s.
+        requested_mbps: f64,
+    },
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopologyError::UnknownNode { node } => write!(f, "unknown node {}", node.0),
+            TopologyError::NoPath { from, to } => {
+                write!(f, "no path from node {} to node {}", from.0, to.0)
+            }
+            TopologyError::InsufficientCapacity { residual_mbps, requested_mbps } => write!(
+                f,
+                "insufficient capacity: {requested_mbps} Mb/s requested, {residual_mbps} Mb/s residual"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// A capacitated switch graph with reservation bookkeeping.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Topology {
+    adjacency: Vec<Vec<Link>>,
+}
+
+impl Topology {
+    /// Creates a topology with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self { adjacency: vec![Vec::new(); n] }
+    }
+
+    /// The prototype chain: 6 switches in a line, 80 Mb/s per hop
+    /// (bidirectional).
+    pub fn prototype_chain() -> Self {
+        let mut t = Self::new(6);
+        for i in 0..5 {
+            t.add_bidirectional(NodeId(i), NodeId(i + 1), 1.0, 80.0)
+                .expect("indices in range");
+        }
+        t
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// True if the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Adds a directed link.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] for out-of-range endpoints.
+    pub fn add_link(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+        capacity_mbps: f64,
+    ) -> Result<(), TopologyError> {
+        for node in [from, to] {
+            if node.0 >= self.adjacency.len() {
+                return Err(TopologyError::UnknownNode { node });
+            }
+        }
+        self.adjacency[from.0].push(Link {
+            to: to.0,
+            weight: weight.max(0.0),
+            capacity_mbps,
+            reserved_mbps: 0.0,
+        });
+        Ok(())
+    }
+
+    /// Adds a link in both directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] for out-of-range endpoints.
+    pub fn add_bidirectional(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        weight: f64,
+        capacity_mbps: f64,
+    ) -> Result<(), TopologyError> {
+        self.add_link(a, b, weight, capacity_mbps)?;
+        self.add_link(b, a, weight, capacity_mbps)
+    }
+
+    /// Shortest path by total link weight (Dijkstra). Returns the node
+    /// sequence including both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownNode`] or [`TopologyError::NoPath`].
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Result<Vec<NodeId>, TopologyError> {
+        for node in [from, to] {
+            if node.0 >= self.adjacency.len() {
+                return Err(TopologyError::UnknownNode { node });
+            }
+        }
+        let n = self.adjacency.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev = vec![usize::MAX; n];
+        dist[from.0] = 0.0;
+        // Max-heap on negated distance.
+        let mut heap = BinaryHeap::new();
+        heap.push((std::cmp::Reverse(ordered(0.0)), from.0));
+        while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+            let d = d.0;
+            if d > dist[u] {
+                continue;
+            }
+            if u == to.0 {
+                break;
+            }
+            for link in &self.adjacency[u] {
+                let nd = d + link.weight;
+                if nd < dist[link.to] {
+                    dist[link.to] = nd;
+                    prev[link.to] = u;
+                    heap.push((std::cmp::Reverse(ordered(nd)), link.to));
+                }
+            }
+        }
+        if dist[to.0].is_infinite() {
+            return Err(TopologyError::NoPath { from, to });
+        }
+        let mut path = vec![to.0];
+        let mut cur = to.0;
+        while cur != from.0 {
+            cur = prev[cur];
+            path.push(cur);
+        }
+        path.reverse();
+        Ok(path.into_iter().map(NodeId).collect())
+    }
+
+    /// Residual capacity of the path (minimum over its links), Mb/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `path` contains a hop with no link (callers pass paths
+    /// produced by [`Topology::shortest_path`]).
+    pub fn path_residual_mbps(&self, path: &[NodeId]) -> f64 {
+        path.windows(2)
+            .map(|w| {
+                let link = self.adjacency[w[0].0]
+                    .iter()
+                    .find(|l| l.to == w[1].0)
+                    .expect("path hop must correspond to a link");
+                link.capacity_mbps - link.reserved_mbps
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Reserves `mbps` along `path` (admission for a slice's transport
+    /// share).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InsufficientCapacity`] without reserving
+    /// anything if some link lacks residual.
+    pub fn reserve(&mut self, path: &[NodeId], mbps: f64) -> Result<(), TopologyError> {
+        let residual = self.path_residual_mbps(path);
+        if mbps > residual + 1e-12 {
+            return Err(TopologyError::InsufficientCapacity {
+                residual_mbps: residual,
+                requested_mbps: mbps,
+            });
+        }
+        for w in path.windows(2) {
+            let link = self.adjacency[w[0].0]
+                .iter_mut()
+                .find(|l| l.to == w[1].0)
+                .expect("checked above");
+            link.reserved_mbps += mbps;
+        }
+        Ok(())
+    }
+
+    /// Releases `mbps` along `path`.
+    pub fn release(&mut self, path: &[NodeId], mbps: f64) {
+        for w in path.windows(2) {
+            if let Some(link) =
+                self.adjacency[w[0].0].iter_mut().find(|l| l.to == w[1].0)
+            {
+                link.reserved_mbps = (link.reserved_mbps - mbps).max(0.0);
+            }
+        }
+    }
+}
+
+/// Total-order wrapper for finite f64 distances.
+fn ordered(x: f64) -> OrderedF64 {
+    OrderedF64(x)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF64(f64);
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("distances are finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_path_is_the_chain() {
+        let t = Topology::prototype_chain();
+        let p = t.shortest_path(NodeId(0), NodeId(5)).unwrap();
+        assert_eq!(p, (0..6).map(NodeId).collect::<Vec<_>>());
+        assert_eq!(t.path_residual_mbps(&p), 80.0);
+    }
+
+    #[test]
+    fn dijkstra_prefers_lighter_route() {
+        // 0 → 1 → 3 (weight 2) vs 0 → 2 → 3 (weight 1.5).
+        let mut t = Topology::new(4);
+        t.add_bidirectional(NodeId(0), NodeId(1), 1.0, 100.0).unwrap();
+        t.add_bidirectional(NodeId(1), NodeId(3), 1.0, 100.0).unwrap();
+        t.add_bidirectional(NodeId(0), NodeId(2), 0.5, 100.0).unwrap();
+        t.add_bidirectional(NodeId(2), NodeId(3), 1.0, 100.0).unwrap();
+        let p = t.shortest_path(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p, vec![NodeId(0), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn disconnected_nodes_have_no_path() {
+        let t = Topology::new(3);
+        assert!(matches!(
+            t.shortest_path(NodeId(0), NodeId(2)),
+            Err(TopologyError::NoPath { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_node_is_reported() {
+        let t = Topology::new(2);
+        assert!(matches!(
+            t.shortest_path(NodeId(0), NodeId(9)),
+            Err(TopologyError::UnknownNode { .. })
+        ));
+    }
+
+    #[test]
+    fn reservations_consume_and_release_capacity() {
+        let mut t = Topology::prototype_chain();
+        let p = t.shortest_path(NodeId(0), NodeId(5)).unwrap();
+        t.reserve(&p, 50.0).unwrap();
+        assert_eq!(t.path_residual_mbps(&p), 30.0);
+        let err = t.reserve(&p, 40.0).unwrap_err();
+        assert!(matches!(err, TopologyError::InsufficientCapacity { .. }));
+        // Nothing was partially reserved by the failed attempt.
+        assert_eq!(t.path_residual_mbps(&p), 30.0);
+        t.release(&p, 50.0);
+        assert_eq!(t.path_residual_mbps(&p), 80.0);
+    }
+
+    #[test]
+    fn bottleneck_link_bounds_residual() {
+        let mut t = Topology::new(3);
+        t.add_link(NodeId(0), NodeId(1), 1.0, 100.0).unwrap();
+        t.add_link(NodeId(1), NodeId(2), 1.0, 10.0).unwrap();
+        let p = t.shortest_path(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(t.path_residual_mbps(&p), 10.0);
+    }
+}

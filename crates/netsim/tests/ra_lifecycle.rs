@@ -1,0 +1,84 @@
+//! End-to-end RA lifecycle test: attach users, reconfigure all three
+//! domains repeatedly, and check every substrate invariant the paper's
+//! managers rely on.
+
+use edgeslice_netsim::app::AppProfile;
+use edgeslice_netsim::ra::{DomainShares, ResourceAutonomy};
+use edgeslice_netsim::transport::ReconfigMode;
+use proptest::prelude::*;
+
+#[test]
+fn repeated_reconfiguration_keeps_all_invariants() {
+    let mut ra = ResourceAutonomy::prototype(0, 2);
+    let apps = [AppProfile::traffic_heavy(), AppProfile::compute_heavy()];
+    for step in 0..50 {
+        let phase = step as f64 / 50.0;
+        let shares = [
+            DomainShares::new(0.2 + 0.6 * phase, 0.5, 0.8 - 0.6 * phase),
+            DomainShares::new(0.8 - 0.6 * phase, 0.5, 0.2 + 0.6 * phase),
+        ];
+        let times = ra.service_times(&shares, &apps);
+        assert!(times.iter().all(|t| t.is_finite() && *t > 0.0), "step {step}: {times:?}");
+        ra.submit_task(0, &apps[0]);
+        ra.submit_task(1, &apps[1]);
+        ra.advance_gpu(0.2);
+    }
+    assert!(ra.gpu_isolated(), "kernel-split occupancy bound violated");
+    assert_eq!(
+        ra.transport().outage_seconds(),
+        0.0,
+        "make-before-break must never cause outage"
+    );
+}
+
+#[test]
+fn break_before_make_accumulates_outage_at_every_reconfig() {
+    let mut ra = ResourceAutonomy::prototype(0, 2);
+    ra.set_reconfig_mode(ReconfigMode::BreakBeforeMake);
+    let apps = [AppProfile::traffic_heavy(), AppProfile::compute_heavy()];
+    for _ in 0..3 {
+        ra.service_times(
+            &[DomainShares::new(0.5, 0.5, 0.5), DomainShares::new(0.5, 0.5, 0.5)],
+            &apps,
+        );
+    }
+    // First apply installs; the next two re-configure 2 flows × 6 switches
+    // × 50 ms each.
+    let expected = 2.0 * 2.0 * 6.0 * 0.05;
+    assert!((ra.transport().outage_seconds() - expected).abs() < 1e-9);
+}
+
+proptest! {
+    #[test]
+    fn rates_scale_monotonically_with_shares(
+        lo in 0.05f64..0.45,
+        hi in 0.55f64..0.95,
+    ) {
+        let mut ra = ResourceAutonomy::prototype(0, 2);
+        let small = ra.apply(&[
+            DomainShares::new(lo, lo, lo),
+            DomainShares::new(0.1, 0.1, 0.1),
+        ]);
+        let big = ra.apply(&[
+            DomainShares::new(hi, hi, hi),
+            DomainShares::new(0.1, 0.1, 0.1),
+        ]);
+        prop_assert!(big[0].radio_mbps >= small[0].radio_mbps);
+        prop_assert!(big[0].transport_mbps > small[0].transport_mbps);
+        prop_assert!(big[0].compute_gflops_s > small[0].compute_gflops_s);
+    }
+
+    #[test]
+    fn total_granted_radio_never_exceeds_cell(
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let mut ra = ResourceAutonomy::prototype(0, 2);
+        let rates = ra.apply(&[
+            DomainShares::new(a, 0.5, 0.5),
+            DomainShares::new(b, 0.5, 0.5),
+        ]);
+        let total: f64 = rates.iter().map(|r| r.radio_mbps).sum();
+        prop_assert!(total <= ra.enodeb().cell_rate_mbps() + 1e-9);
+    }
+}

@@ -1,0 +1,401 @@
+//! Multi-layer perceptrons with manual backpropagation.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{Activation, Dense, DenseGrad, Init, Matrix};
+
+/// A feed-forward network of [`Dense`] layers.
+///
+/// The paper's actor and critic are both `Mlp`s with two 128-unit
+/// Leaky-ReLU hidden layers; the actor ends in a sigmoid so the action lands
+/// in `[0, 1]^d` before being scaled to the RA's resource capacities
+/// (Sec. VI-A).
+///
+/// # Examples
+///
+/// ```
+/// use edgeslice_nn::{Mlp, Matrix};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let net = Mlp::paper_actor(4, 6, &mut rng);
+/// let out = net.forward(&Matrix::zeros(1, 4));
+/// assert_eq!(out.shape(), (1, 6));
+/// assert!(out.as_slice().iter().all(|&a| (0.0..=1.0).contains(&a)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+/// Cached intermediate values from [`Mlp::forward_cached`], consumed by
+/// [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Input to each layer (`inputs[0]` is the network input).
+    inputs: Vec<Matrix>,
+    /// Pre-activation of each layer.
+    pre: Vec<Matrix>,
+    /// Final activated output.
+    output: Matrix,
+}
+
+impl ForwardCache {
+    /// The network output for this pass.
+    pub fn output(&self) -> &Matrix {
+        &self.output
+    }
+}
+
+/// Per-layer parameter gradients for a whole network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    /// One gradient per layer, in forward order.
+    pub layers: Vec<DenseGrad>,
+}
+
+impl Gradients {
+    /// A zero gradient shaped like `net`.
+    pub fn zeros_like(net: &Mlp) -> Self {
+        Self { layers: net.layers.iter().map(DenseGrad::zeros_like).collect() }
+    }
+
+    /// `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f64, other: &Gradients) {
+        for (a, b) in self.layers.iter_mut().zip(&other.layers) {
+            a.axpy(alpha, b);
+        }
+    }
+
+    /// Multiplies all gradients by `alpha` in place.
+    pub fn scale(&mut self, alpha: f64) {
+        for g in &mut self.layers {
+            g.scale(alpha);
+        }
+    }
+
+    /// Global (whole-network) L2 norm.
+    pub fn global_norm(&self) -> f64 {
+        self.layers.iter().map(DenseGrad::norm_sq).sum::<f64>().sqrt()
+    }
+
+    /// Rescales so the global norm does not exceed `max_norm`.
+    pub fn clip_global_norm(&mut self, max_norm: f64) {
+        let norm = self.global_norm();
+        if norm > max_norm && norm > 0.0 {
+            self.scale(max_norm / norm);
+        }
+    }
+}
+
+impl Mlp {
+    /// Builds a network from `(in, out, activation)` layer sizes.
+    ///
+    /// `dims` is the sequence of widths, e.g. `[4, 128, 128, 6]`;
+    /// `hidden` is used for every layer except the last, which uses
+    /// `output`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims.len() < 2`.
+    pub fn new(
+        dims: &[usize],
+        hidden: Activation,
+        output: Activation,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an Mlp needs at least an input and output width");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for w in dims.windows(2) {
+            let last = layers.len() == dims.len() - 2;
+            let act = if last { output } else { hidden };
+            // He init matches (leaky-)ReLU hidden layers; the small-uniform
+            // final layer keeps initial outputs near the activation midpoint,
+            // the standard DDPG initialization.
+            let init = if last { Init::Uniform(3e-3) } else { Init::HeUniform };
+            layers.push(Dense::new(w[0], w[1], act, init, rng));
+        }
+        Self { layers }
+    }
+
+    /// The paper's actor network: two 128-unit Leaky-ReLU hidden layers and
+    /// a sigmoid output (Sec. VI-A).
+    pub fn paper_actor(state_dim: usize, action_dim: usize, rng: &mut impl Rng) -> Self {
+        Self::new(
+            &[state_dim, 128, 128, action_dim],
+            Activation::leaky_default(),
+            Activation::Sigmoid,
+            rng,
+        )
+    }
+
+    /// The paper's critic network: state–action input, two 128-unit
+    /// Leaky-ReLU hidden layers, linear scalar output.
+    pub fn paper_critic(state_dim: usize, action_dim: usize, rng: &mut impl Rng) -> Self {
+        Self::new(
+            &[state_dim + action_dim, 128, 128, 1],
+            Activation::leaky_default(),
+            Activation::Identity,
+            rng,
+        )
+    }
+
+    /// The layers of this network, in forward order.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable access to the layers.
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("Mlp has at least one layer").out_dim()
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(Dense::param_count).sum()
+    }
+
+    /// Inference-only forward pass for a batch (`batch × in_dim`).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = self.layers[0].forward(x);
+        for layer in &self.layers[1..] {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Convenience forward pass for a single input vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.in_dim(), "input length mismatch");
+        self.forward(&Matrix::row_vector(x)).into_vec()
+    }
+
+    /// Forward pass that records everything needed for [`Mlp::backward`].
+    pub fn forward_cached(&self, x: &Matrix) -> ForwardCache {
+        let mut inputs = Vec::with_capacity(self.layers.len());
+        let mut pre = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for layer in &self.layers {
+            let z = layer.pre_activation(&h);
+            let out = layer.activation().forward(&z);
+            inputs.push(h);
+            pre.push(z);
+            h = out;
+        }
+        ForwardCache { inputs, pre, output: h }
+    }
+
+    /// Backpropagates `d_output = ∂L/∂output` through the cached pass.
+    ///
+    /// Returns the parameter gradients (summed over the batch) and
+    /// `∂L/∂input`, which DDPG uses to push the deterministic-policy
+    /// gradient `∇_a Q` back into the actor.
+    pub fn backward(&self, cache: &ForwardCache, d_output: &Matrix) -> (Gradients, Matrix) {
+        let mut grads = vec![None; self.layers.len()];
+        let mut d = d_output.clone();
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let (g, dx) = layer.backward(&cache.inputs[idx], &cache.pre[idx], &d);
+            grads[idx] = Some(g);
+            d = dx;
+        }
+        let layers = grads.into_iter().map(|g| g.expect("every layer visited")).collect();
+        (Gradients { layers }, d)
+    }
+
+    /// Flattens all parameters into a single vector (weights row-major, then
+    /// bias, per layer, in forward order).
+    pub fn flat_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(l.weights().as_slice());
+            out.extend_from_slice(l.bias());
+        }
+        out
+    }
+
+    /// Restores parameters from a flat vector produced by
+    /// [`Mlp::flat_params`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != param_count()`.
+    pub fn set_flat_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wlen = l.weights().rows() * l.weights().cols();
+            l.weights_mut().as_mut_slice().copy_from_slice(&params[off..off + wlen]);
+            off += wlen;
+            let blen = l.bias().len();
+            l.bias_mut().copy_from_slice(&params[off..off + blen]);
+            off += blen;
+        }
+    }
+
+    /// Flattens a [`Gradients`] into a vector aligned with
+    /// [`Mlp::flat_params`].
+    pub fn flat_grads(&self, grads: &Gradients) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for g in &grads.layers {
+            out.extend_from_slice(g.weights.as_slice());
+            out.extend_from_slice(&g.bias);
+        }
+        out
+    }
+
+    /// Polyak-averages all parameters toward `source`:
+    /// `θ ← (1-τ) θ + τ θ_source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if architectures differ.
+    pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
+        assert_eq!(self.layers.len(), source.layers.len(), "layer count mismatch");
+        for (a, b) in self.layers.iter_mut().zip(&source.layers) {
+            a.soft_update_from(b, tau);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net() -> Mlp {
+        let mut rng = StdRng::seed_from_u64(11);
+        Mlp::new(&[3, 8, 8, 2], Activation::leaky_default(), Activation::Tanh, &mut rng)
+    }
+
+    #[test]
+    fn shapes_and_param_count() {
+        let n = net();
+        assert_eq!(n.in_dim(), 3);
+        assert_eq!(n.out_dim(), 2);
+        assert_eq!(n.param_count(), 3 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2);
+        assert_eq!(n.forward(&Matrix::zeros(4, 3)).shape(), (4, 2));
+    }
+
+    #[test]
+    fn forward_cached_matches_forward() {
+        let n = net();
+        let x = Matrix::from_rows(&[&[0.1, -0.2, 0.3], &[1.0, 0.5, -0.5]]);
+        let cache = n.forward_cached(&x);
+        assert_eq!(cache.output(), &n.forward(&x));
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_on_all_params() {
+        let mut n = net();
+        let x = Matrix::from_rows(&[&[0.4, -0.1, 0.9], &[-0.3, 0.7, 0.2]]);
+        // Scalar loss: sum of all outputs.
+        let cache = n.forward_cached(&x);
+        let d_out = Matrix::filled(2, 2, 1.0);
+        let (grads, d_in) = n.backward(&cache, &d_out);
+        let flat_grad = n.flat_grads(&grads);
+
+        let eps = 1e-6;
+        let mut params = n.flat_params();
+        for p in 0..params.len() {
+            let orig = params[p];
+            params[p] = orig + eps;
+            n.set_flat_params(&params);
+            let up = n.forward(&x).sum();
+            params[p] = orig - eps;
+            n.set_flat_params(&params);
+            let dn = n.forward(&x).sum();
+            params[p] = orig;
+            let fd = (up - dn) / (2.0 * eps);
+            assert!(
+                (fd - flat_grad[p]).abs() < 1e-5,
+                "param {p}: fd={fd} an={}",
+                flat_grad[p]
+            );
+        }
+        n.set_flat_params(&params);
+
+        // d_in finite difference.
+        let mut x2 = x.clone();
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = x2[(r, c)];
+                x2[(r, c)] = orig + eps;
+                let up = n.forward(&x2).sum();
+                x2[(r, c)] = orig - eps;
+                let dn = n.forward(&x2).sum();
+                x2[(r, c)] = orig;
+                let fd = (up - dn) / (2.0 * eps);
+                assert!((fd - d_in[(r, c)]).abs() < 1e-5, "d_in[{r},{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_params_round_trip() {
+        let mut a = net();
+        let b = {
+            let mut rng = StdRng::seed_from_u64(99);
+            Mlp::new(&[3, 8, 8, 2], Activation::leaky_default(), Activation::Tanh, &mut rng)
+        };
+        a.set_flat_params(&b.flat_params());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn paper_actor_outputs_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let actor = Mlp::paper_actor(4, 6, &mut rng);
+        let x = Matrix::from_fn(16, 4, |_, _| rng.gen_range(-5.0..5.0));
+        let y = actor.forward(&x);
+        assert!(y.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn gradient_clipping_caps_global_norm() {
+        let n = net();
+        let x = Matrix::filled(1, 3, 1.0);
+        let cache = n.forward_cached(&x);
+        let (mut g, _) = n.backward(&cache, &Matrix::filled(1, 2, 100.0));
+        let before = g.global_norm();
+        assert!(before > 1.0);
+        g.clip_global_norm(1.0);
+        assert!((g.global_norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn soft_update_moves_toward_source() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut a = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let b = Mlp::new(&[2, 4, 1], Activation::Relu, Activation::Identity, &mut rng);
+        let d0: f64 = a
+            .flat_params()
+            .iter()
+            .zip(b.flat_params())
+            .map(|(x, y)| (x - y).powi(2))
+            .sum();
+        a.soft_update_from(&b, 0.5);
+        let d1: f64 = a
+            .flat_params()
+            .iter()
+            .zip(b.flat_params())
+            .map(|(x, y)| (x - y).powi(2))
+            .sum();
+        assert!(d1 < d0);
+    }
+}

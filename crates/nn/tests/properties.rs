@@ -1,0 +1,73 @@
+//! Property-based tests for the linear-algebra core.
+
+use edgeslice_nn::{Activation, Matrix, Mlp};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_associative(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+        c in small_matrix(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        let diff = (&left - &right).norm();
+        prop_assert!(diff < 1e-9, "associativity violated by {diff}");
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in small_matrix(3, 4),
+        b in small_matrix(4, 2),
+        c in small_matrix(4, 2),
+    ) {
+        let left = a.matmul(&(&b + &c));
+        let right = &a.matmul(&b) + &a.matmul(&c);
+        prop_assert!((&left - &right).norm() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!((&left - &right).norm() < 1e-9);
+    }
+
+    #[test]
+    fn fused_transpose_products_agree(a in small_matrix(4, 3), b in small_matrix(4, 2)) {
+        prop_assert!((&a.matmul_tn(&b) - &a.transpose().matmul(&b)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn flat_params_round_trip_preserves_forward(
+        input in proptest::collection::vec(-2.0f64..2.0, 3),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut net = Mlp::new(&[3, 6, 2], Activation::leaky_default(), Activation::Tanh, &mut rng);
+        let before = net.forward_one(&input);
+        let params = net.flat_params();
+        net.set_flat_params(&params);
+        let after = net.forward_one(&input);
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn sigmoid_output_always_in_unit_interval(
+        input in proptest::collection::vec(-50.0f64..50.0, 4),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let net = Mlp::new(&[4, 8, 3], Activation::leaky_default(), Activation::Sigmoid, &mut rng);
+        let out = net.forward_one(&input);
+        prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

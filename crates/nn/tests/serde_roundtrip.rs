@@ -1,0 +1,24 @@
+//! Networks and matrices must serialize losslessly (checkpointing trained
+//! orchestration agents).
+
+use edgeslice_nn::{Activation, Matrix, Mlp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn matrix_json_round_trip() {
+    let m = Matrix::from_rows(&[&[1.5, -2.25], &[0.0, 1e-9]]);
+    let json = serde_json::to_string(&m).unwrap();
+    let back: Matrix = serde_json::from_str(&json).unwrap();
+    assert_eq!(m, back);
+}
+
+#[test]
+fn mlp_json_round_trip_preserves_policy() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let net = Mlp::new(&[3, 16, 2], Activation::leaky_default(), Activation::Sigmoid, &mut rng);
+    let json = serde_json::to_string(&net).unwrap();
+    let back: Mlp = serde_json::from_str(&json).unwrap();
+    let x = [0.25, -0.5, 0.75];
+    assert_eq!(net.forward_one(&x), back.forward_one(&x));
+}

@@ -1,0 +1,140 @@
+//! Ordinary least squares.
+//!
+//! The simulated network environment (paper Sec. VI-B) fits a **local linear
+//! regression** over the grid-search dataset's neighbouring orchestration
+//! actions to predict service time for off-grid actions; this module is that
+//! regression (the paper used scikit-learn).
+
+use serde::{Deserialize, Serialize};
+
+use crate::{solve_spd, OptimError};
+
+/// A fitted linear model `y = w · x + b`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearModel {
+    /// Fits ordinary least squares with an intercept on rows `xs` and
+    /// targets `ys`, adding ridge damping `lambda ≥ 0` on the weights (not
+    /// the intercept) for numerical robustness when neighbours are
+    /// collinear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::DimensionMismatch`] when `xs`/`ys` lengths
+    /// disagree or `xs` is empty, and propagates solver failures for
+    /// degenerate designs.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Self, OptimError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(OptimError::DimensionMismatch { expected: ys.len(), found: xs.len() });
+        }
+        let d = xs[0].len();
+        let n = d + 1; // + intercept column
+        // Normal equations: (XᵀX + λI') w = Xᵀy with augmented X = [x, 1].
+        let mut ata = vec![0.0f64; n * n];
+        let mut atb = vec![0.0f64; n];
+        for (x, &y) in xs.iter().zip(ys) {
+            if x.len() != d {
+                return Err(OptimError::DimensionMismatch { expected: d, found: x.len() });
+            }
+            for i in 0..n {
+                let xi = if i < d { x[i] } else { 1.0 };
+                atb[i] += xi * y;
+                for j in 0..n {
+                    let xj = if j < d { x[j] } else { 1.0 };
+                    ata[i * n + j] += xi * xj;
+                }
+            }
+        }
+        for i in 0..d {
+            // Ridge on weights only; a tiny floor keeps the system SPD.
+            ata[i * n + i] += lambda.max(1e-9);
+        }
+        ata[d * n + d] += 1e-9;
+        let sol = solve_spd(&ata, &atb)?;
+        Ok(Self { weights: sol[..d].to_vec(), intercept: sol[d] })
+    }
+
+    /// The fitted weight vector.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// The fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predicts `w · x + b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the training dimensionality.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "prediction dimensionality mismatch");
+        self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter()
+            .zip(ys)
+            .map(|(x, &y)| (self.predict(x) - y).powi(2))
+            .sum::<f64>()
+            / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_linear_relation() {
+        let xs: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x[0] - 2.0 * x[1] + 5.0).collect();
+        let m = LinearModel::fit(&xs, &ys, 0.0).unwrap();
+        assert!((m.weights()[0] - 3.0).abs() < 1e-6);
+        assert!((m.weights()[1] + 2.0).abs() < 1e-6);
+        assert!((m.intercept() - 5.0).abs() < 1e-5);
+        assert!(m.mse(&xs, &ys) < 1e-10);
+    }
+
+    #[test]
+    fn ridge_handles_duplicate_rows() {
+        // All identical rows: unregularized normal equations are singular.
+        let xs = vec![vec![1.0, 2.0]; 5];
+        let ys = vec![4.0; 5];
+        let m = LinearModel::fit(&xs, &ys, 1e-3).unwrap();
+        assert!((m.predict(&[1.0, 2.0]) - 4.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(LinearModel::fit(&[], &[], 0.0).is_err());
+    }
+
+    #[test]
+    fn mismatched_lengths_is_an_error() {
+        assert!(LinearModel::fit(&[vec![1.0]], &[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn interpolates_between_grid_neighbours() {
+        // Mimic the paper's use: predict service time between two adjacent
+        // 10%-granularity grid actions.
+        let xs = vec![vec![0.1, 0.3, 0.2], vec![0.1, 0.4, 0.2], vec![0.2, 0.3, 0.2]];
+        let ys = vec![10.0, 8.0, 9.0];
+        let m = LinearModel::fit(&xs, &ys, 1e-6).unwrap();
+        let mid = m.predict(&[0.12, 0.38, 0.2]);
+        assert!(mid < 10.0 && mid > 7.5, "interpolation out of range: {mid}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Dense direct solvers for small symmetric systems.
+
+use crate::OptimError;
+
+/// Solves `A x = b` for a symmetric positive-definite `A` (row-major,
+/// `n × n`) via Cholesky factorization.
+///
+/// # Errors
+///
+/// Returns [`OptimError::NotPositiveDefinite`] if a non-positive pivot is
+/// encountered, and [`OptimError::DimensionMismatch`] if shapes disagree.
+pub fn solve_spd(a: &[f64], b: &[f64]) -> Result<Vec<f64>, OptimError> {
+    let n = b.len();
+    if a.len() != n * n {
+        return Err(OptimError::DimensionMismatch {
+            expected: n * n,
+            found: a.len(),
+        });
+    }
+    // Cholesky: A = L Lᵀ with L lower-triangular.
+    let mut l = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a[i * n + j];
+            for k in 0..j {
+                sum -= l[i * n + k] * l[j * n + k];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(OptimError::NotPositiveDefinite { pivot: i, value: sum });
+                }
+                l[i * n + j] = sum.sqrt();
+            } else {
+                l[i * n + j] = sum / l[j * n + j];
+            }
+        }
+    }
+    // Forward solve L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[i * n + k] * y[k];
+        }
+        y[i] = sum / l[i * n + i];
+    }
+    // Backward solve Lᵀ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut sum = y[i];
+        for k in i + 1..n {
+            sum -= l[k * n + i] * x[k];
+        }
+        x[i] = sum / l[i * n + i];
+    }
+    Ok(x)
+}
+
+/// Solves a general square system `A x = b` via Gaussian elimination with
+/// partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`OptimError::Singular`] if no usable pivot exists, and
+/// [`OptimError::DimensionMismatch`] if shapes disagree.
+pub fn solve_general(a: &[f64], b: &[f64]) -> Result<Vec<f64>, OptimError> {
+    let n = b.len();
+    if a.len() != n * n {
+        return Err(OptimError::DimensionMismatch {
+            expected: n * n,
+            found: a.len(),
+        });
+    }
+    let mut m = a.to_vec();
+    let mut x = b.to_vec();
+    for col in 0..n {
+        // Partial pivot.
+        let mut best = col;
+        for row in col + 1..n {
+            if m[row * n + col].abs() > m[best * n + col].abs() {
+                best = row;
+            }
+        }
+        if m[best * n + col].abs() < 1e-12 {
+            return Err(OptimError::Singular { column: col });
+        }
+        if best != col {
+            for k in 0..n {
+                m.swap(col * n + k, best * n + k);
+            }
+            x.swap(col, best);
+        }
+        let pivot = m[col * n + col];
+        for row in col + 1..n {
+            let f = m[row * n + col] / pivot;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= f * m[col * n + k];
+            }
+            x[row] -= f * x[col];
+        }
+    }
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for k in i + 1..n {
+            sum -= m[i * n + k] * x[k];
+        }
+        x[i] = sum / m[i * n + i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spd_solve_matches_known_solution() {
+        // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11]
+        let a = [4.0, 1.0, 1.0, 3.0];
+        let b = [1.0, 2.0];
+        let x = solve_spd(&a, &b).unwrap();
+        assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+        assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spd_rejects_indefinite() {
+        let a = [1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(matches!(
+            solve_spd(&a, &[1.0, 1.0]),
+            Err(OptimError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn general_solve_with_pivoting() {
+        // Requires a row swap: first pivot is 0.
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let x = solve_general(&a, &[3.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_detects_singular() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(matches!(solve_general(&a, &[1.0, 2.0]), Err(OptimError::Singular { .. })));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        assert!(matches!(
+            solve_spd(&[1.0, 2.0, 3.0], &[1.0, 2.0]),
+            Err(OptimError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn solvers_agree_on_spd_system() {
+        let a = [5.0, 1.0, 0.5, 1.0, 4.0, 1.0, 0.5, 1.0, 3.0];
+        let b = [1.0, -2.0, 0.5];
+        let x1 = solve_spd(&a, &b).unwrap();
+        let x2 = solve_general(&a, &b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

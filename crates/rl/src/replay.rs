@@ -1,0 +1,190 @@
+//! Experience replay memory (Fig. 3).
+
+use edgeslice_nn::Matrix;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Transition;
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    state_dim: usize,
+    action_dim: usize,
+    states: Vec<f64>,
+    actions: Vec<f64>,
+    rewards: Vec<f64>,
+    next_states: Vec<f64>,
+    dones: Vec<bool>,
+    len: usize,
+    head: usize,
+}
+
+/// A sampled minibatch in matrix form, ready for batched forward passes.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// `batch × state_dim` states.
+    pub states: Matrix,
+    /// `batch × action_dim` actions.
+    pub actions: Matrix,
+    /// Rewards, one per row.
+    pub rewards: Vec<f64>,
+    /// `batch × state_dim` successor states.
+    pub next_states: Matrix,
+    /// Termination flags, one per row.
+    pub dones: Vec<bool>,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer for transitions of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize, state_dim: usize, action_dim: usize) -> Self {
+        assert!(capacity > 0, "replay capacity must be positive");
+        Self {
+            capacity,
+            state_dim,
+            action_dim,
+            states: vec![0.0; capacity * state_dim],
+            actions: vec![0.0; capacity * action_dim],
+            rewards: vec![0.0; capacity],
+            next_states: vec![0.0; capacity * state_dim],
+            dones: vec![false; capacity],
+            len: 0,
+            head: 0,
+        }
+    }
+
+    /// Number of stored transitions (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no transitions are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The buffer's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends a transition, overwriting the oldest when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transition's dimensions don't match the buffer's.
+    pub fn push(&mut self, t: &Transition) {
+        assert_eq!(t.state.len(), self.state_dim, "state dim mismatch");
+        assert_eq!(t.action.len(), self.action_dim, "action dim mismatch");
+        assert_eq!(t.next_state.len(), self.state_dim, "next state dim mismatch");
+        let i = self.head;
+        self.states[i * self.state_dim..(i + 1) * self.state_dim].copy_from_slice(&t.state);
+        self.actions[i * self.action_dim..(i + 1) * self.action_dim]
+            .copy_from_slice(&t.action);
+        self.rewards[i] = t.reward;
+        self.next_states[i * self.state_dim..(i + 1) * self.state_dim]
+            .copy_from_slice(&t.next_state);
+        self.dones[i] = t.done;
+        self.head = (self.head + 1) % self.capacity;
+        self.len = (self.len + 1).min(self.capacity);
+    }
+
+    /// Uniformly samples `batch_size` transitions (with replacement).
+    ///
+    /// Returns `None` when the buffer holds fewer than `batch_size`
+    /// transitions, the usual warm-up guard.
+    pub fn sample(&self, batch_size: usize, rng: &mut StdRng) -> Option<Batch> {
+        if self.len < batch_size || batch_size == 0 {
+            return None;
+        }
+        let mut states = Vec::with_capacity(batch_size * self.state_dim);
+        let mut actions = Vec::with_capacity(batch_size * self.action_dim);
+        let mut rewards = Vec::with_capacity(batch_size);
+        let mut next_states = Vec::with_capacity(batch_size * self.state_dim);
+        let mut dones = Vec::with_capacity(batch_size);
+        for _ in 0..batch_size {
+            let i = rng.gen_range(0..self.len);
+            states.extend_from_slice(&self.states[i * self.state_dim..(i + 1) * self.state_dim]);
+            actions
+                .extend_from_slice(&self.actions[i * self.action_dim..(i + 1) * self.action_dim]);
+            rewards.push(self.rewards[i]);
+            next_states
+                .extend_from_slice(&self.next_states[i * self.state_dim..(i + 1) * self.state_dim]);
+            dones.push(self.dones[i]);
+        }
+        Some(Batch {
+            states: Matrix::from_vec(batch_size, self.state_dim, states),
+            actions: Matrix::from_vec(batch_size, self.action_dim, actions),
+            rewards,
+            next_states: Matrix::from_vec(batch_size, self.state_dim, next_states),
+            dones,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(v: f64) -> Transition {
+        Transition {
+            state: vec![v, v],
+            action: vec![v],
+            reward: v,
+            next_state: vec![v + 1.0, v + 1.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn fills_then_wraps() {
+        let mut b = ReplayBuffer::new(3, 2, 1);
+        for i in 0..5 {
+            b.push(&t(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        // Oldest two (0, 1) evicted: all stored rewards are in {2,3,4}.
+        assert!(b.rewards.iter().all(|&r| (2.0..=4.0).contains(&r)));
+    }
+
+    #[test]
+    fn sample_requires_enough_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = ReplayBuffer::new(10, 2, 1);
+        assert!(b.sample(1, &mut rng).is_none());
+        b.push(&t(1.0));
+        assert!(b.sample(2, &mut rng).is_none());
+        assert!(b.sample(1, &mut rng).is_some());
+    }
+
+    #[test]
+    fn sampled_rows_are_consistent_tuples() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = ReplayBuffer::new(16, 2, 1);
+        for i in 0..16 {
+            b.push(&t(i as f64));
+        }
+        let batch = b.sample(8, &mut rng).unwrap();
+        assert_eq!(batch.states.shape(), (8, 2));
+        assert_eq!(batch.actions.shape(), (8, 1));
+        for r in 0..8 {
+            let v = batch.rewards[r];
+            assert_eq!(batch.states.row(r), &[v, v], "state must match reward row");
+            assert_eq!(batch.actions.row(r), &[v]);
+            assert_eq!(batch.next_states.row(r), &[v + 1.0, v + 1.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "state dim mismatch")]
+    fn dimension_mismatch_panics() {
+        let mut b = ReplayBuffer::new(4, 3, 1);
+        b.push(&t(0.0));
+    }
+}

@@ -1,0 +1,153 @@
+//! Cross-algorithm integration tests: every technique must be able to
+//! learn the same continuous-control task through the common
+//! [`Environment`] interface — the property Fig. 10b relies on.
+
+use edgeslice_rl::{
+    evaluate, Ddpg, DdpgConfig, Environment, Ppo, PpoConfig, Sac, SacConfig, Step, Trpo,
+    TrpoConfig, Vpg, VpgConfig,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A 2-D bandit-with-state: reward peaks when the action mirrors the state.
+#[derive(Debug, Clone)]
+struct MirrorEnv {
+    state: [f64; 2],
+    steps: usize,
+    horizon: usize,
+}
+
+impl MirrorEnv {
+    fn new(horizon: usize) -> Self {
+        Self { state: [0.5, 0.5], steps: 0, horizon }
+    }
+}
+
+impl Environment for MirrorEnv {
+    fn state_dim(&self) -> usize {
+        2
+    }
+
+    fn action_dim(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.state = [rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)];
+        self.steps = 0;
+        self.state.to_vec()
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> Step {
+        let err: f64 = action
+            .iter()
+            .zip(&self.state)
+            .map(|(a, s)| (a - s) * (a - s))
+            .sum();
+        self.state = [rng.gen_range(0.1..0.9), rng.gen_range(0.1..0.9)];
+        self.steps += 1;
+        Step {
+            next_state: self.state.to_vec(),
+            reward: 1.0 - err,
+            done: self.steps >= self.horizon,
+        }
+    }
+}
+
+/// Perfect play earns `horizon`; uniform-random play roughly
+/// `horizon * (1 - 2/12 - ...) ≈ 0.83 horizon`.
+const HORIZON: usize = 16;
+const TARGET: f64 = 15.0;
+
+fn score(policy: impl FnMut(&[f64]) -> Vec<f64>, rng: &mut StdRng) -> f64 {
+    let mut env = MirrorEnv::new(HORIZON);
+    evaluate(&mut env, policy, 10, HORIZON, rng)
+}
+
+#[test]
+fn ddpg_learns_mirror() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut env = MirrorEnv::new(HORIZON);
+    // The mirror task is a contextual bandit (next state independent of
+    // the action, horizon not observable): a small γ keeps the critic's
+    // bootstrap from chasing the hidden time-to-go.
+    let cfg = DdpgConfig {
+        hidden: 16,
+        batch_size: 32,
+        warmup: 200,
+        noise_sigma: 0.4,
+        gamma: 0.3,
+        ..Default::default()
+    };
+    let mut agent = Ddpg::new(2, 2, cfg, &mut rng);
+    agent.train(&mut env, 4_000, &mut rng);
+    let s = score(|st| agent.policy(st), &mut rng);
+    assert!(s > TARGET, "DDPG score {s:.2}");
+}
+
+#[test]
+fn sac_learns_mirror() {
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut env = MirrorEnv::new(HORIZON);
+    let cfg = SacConfig { hidden: 16, batch_size: 32, warmup: 100, ..Default::default() };
+    let mut agent = Sac::new(2, 2, cfg, &mut rng);
+    agent.train(&mut env, 2_500, &mut rng);
+    let s = score(|st| agent.policy(st), &mut rng);
+    assert!(s > TARGET - 0.7, "SAC score {s:.2}");
+}
+
+#[test]
+fn ppo_learns_mirror() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut env = MirrorEnv::new(HORIZON);
+    let cfg = PpoConfig { hidden: 16, rollout_len: 256, policy_lr: 1e-3, ..Default::default() };
+    let mut agent = Ppo::new(2, 2, cfg, &mut rng);
+    agent.train(&mut env, 25, &mut rng);
+    let s = score(|st| agent.policy(st), &mut rng);
+    assert!(s > TARGET - 0.7, "PPO score {s:.2}");
+}
+
+#[test]
+fn trpo_learns_mirror() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut env = MirrorEnv::new(HORIZON);
+    let cfg = TrpoConfig { hidden: 16, rollout_len: 256, ..Default::default() };
+    let mut agent = Trpo::new(2, 2, cfg, &mut rng);
+    agent.train(&mut env, 25, &mut rng);
+    let s = score(|st| agent.policy(st), &mut rng);
+    assert!(s > TARGET - 1.0, "TRPO score {s:.2}");
+}
+
+#[test]
+fn vpg_learns_mirror() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut env = MirrorEnv::new(HORIZON);
+    let cfg = VpgConfig { hidden: 16, rollout_len: 256, ..Default::default() };
+    let mut agent = Vpg::new(2, 2, cfg, &mut rng);
+    agent.train(&mut env, 35, &mut rng);
+    let s = score(|st| agent.policy(st), &mut rng);
+    assert!(s > TARGET - 1.5, "VPG score {s:.2}");
+}
+
+#[test]
+fn all_policies_emit_unit_box_actions() {
+    let mut rng = StdRng::seed_from_u64(6);
+    let env = MirrorEnv::new(HORIZON);
+    let _ = &env;
+    let state = [0.25, 0.75];
+    let ddpg = Ddpg::new(2, 2, DdpgConfig::default(), &mut rng);
+    let sac = Sac::new(2, 2, SacConfig::default(), &mut rng);
+    let ppo = Ppo::new(2, 2, PpoConfig::default(), &mut rng);
+    let trpo = Trpo::new(2, 2, TrpoConfig::default(), &mut rng);
+    let vpg = Vpg::new(2, 2, VpgConfig::default(), &mut rng);
+    for action in [
+        ddpg.policy(&state),
+        sac.policy(&state),
+        ppo.policy(&state),
+        trpo.policy(&state),
+        vpg.policy(&state),
+    ] {
+        assert_eq!(action.len(), 2);
+        assert!(action.iter().all(|a| (0.0..=1.0).contains(a)), "{action:?}");
+    }
+}

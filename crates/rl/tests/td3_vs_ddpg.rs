@@ -1,0 +1,144 @@
+//! TD3-vs-DDPG ablation: on a noisy-reward task, TD3's clipped double-Q
+//! should resist critic overestimation at least as well as DDPG — the
+//! motivation for shipping it as EdgeSlice's upgrade path.
+
+use edgeslice_rl::{evaluate, Ddpg, DdpgConfig, Environment, Step, Td3, Td3Config};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Tracking with heavy reward noise: the optimal action still mirrors the
+/// state, but single-sample reward estimates are unreliable — the regime
+/// where unclipped critics overestimate.
+#[derive(Debug, Clone)]
+struct NoisyTrackingEnv {
+    target: f64,
+    steps: usize,
+    horizon: usize,
+}
+
+impl Environment for NoisyTrackingEnv {
+    fn state_dim(&self) -> usize {
+        1
+    }
+
+    fn action_dim(&self) -> usize {
+        1
+    }
+
+    fn reset(&mut self, rng: &mut StdRng) -> Vec<f64> {
+        self.target = rng.gen_range(0.2..0.8);
+        self.steps = 0;
+        vec![self.target]
+    }
+
+    fn step(&mut self, action: &[f64], rng: &mut StdRng) -> Step {
+        let err = action[0] - self.target;
+        let noise: f64 = rng.gen_range(-0.5..0.5);
+        let reward = 1.0 - err * err + noise;
+        self.target = rng.gen_range(0.2..0.8);
+        self.steps += 1;
+        Step {
+            next_state: vec![self.target],
+            reward,
+            done: self.steps >= self.horizon,
+        }
+    }
+}
+
+/// Noise-free evaluation of a policy on the underlying task.
+fn true_score(mut policy: impl FnMut(&[f64]) -> Vec<f64>, rng: &mut StdRng) -> f64 {
+    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let mut total = 0.0;
+    for _ in 0..10 {
+        let mut s = env.reset(rng);
+        for _ in 0..20 {
+            let a = policy(&s);
+            let err = a[0] - s[0];
+            total += 1.0 - err * err; // deterministic part only
+            let out = env.step(&a, rng);
+            s = out.next_state;
+            if out.done {
+                break;
+            }
+        }
+    }
+    total / 10.0
+}
+
+#[test]
+fn td3_learns_under_reward_noise() {
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let cfg = Td3Config {
+        hidden: 16,
+        batch_size: 32,
+        warmup: 200,
+        noise_sigma: 0.4,
+        gamma: 0.3,
+        ..Default::default()
+    };
+    let mut agent = Td3::new(1, 1, cfg, &mut rng);
+    agent.train(&mut env, 3_000, &mut rng);
+    let s = true_score(|st| agent.policy(st), &mut rng);
+    assert!(s > 19.0, "TD3 noisy-task score {s:.2}");
+}
+
+#[test]
+fn ddpg_also_learns_but_td3_is_no_worse() {
+    let mut rng = StdRng::seed_from_u64(72);
+    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let ddpg_cfg = DdpgConfig {
+        hidden: 16,
+        batch_size: 32,
+        warmup: 200,
+        noise_sigma: 0.4,
+        gamma: 0.3,
+        ..Default::default()
+    };
+    let mut ddpg = Ddpg::new(1, 1, ddpg_cfg, &mut rng);
+    ddpg.train(&mut env, 3_000, &mut rng);
+    let ddpg_score = true_score(|st| ddpg.policy(st), &mut rng);
+
+    let mut rng2 = StdRng::seed_from_u64(72);
+    let td3_cfg = Td3Config {
+        hidden: 16,
+        batch_size: 32,
+        warmup: 200,
+        noise_sigma: 0.4,
+        gamma: 0.3,
+        ..Default::default()
+    };
+    let mut td3 = Td3::new(1, 1, td3_cfg, &mut rng2);
+    td3.train(&mut env, 3_000, &mut rng2);
+    let td3_score = true_score(|st| td3.policy(st), &mut rng2);
+
+    assert!(ddpg_score > 17.0, "DDPG noisy-task score {ddpg_score:.2}");
+    // TD3 must be competitive (within noise) or better.
+    assert!(
+        td3_score > ddpg_score - 1.0,
+        "TD3 ({td3_score:.2}) should not trail DDPG ({ddpg_score:.2}) under reward noise"
+    );
+}
+
+#[test]
+fn both_policies_stay_in_unit_box() {
+    let mut rng = StdRng::seed_from_u64(73);
+    let ddpg = Ddpg::new(2, 3, DdpgConfig::default(), &mut rng);
+    let td3 = Td3::new(2, 3, Td3Config::default(), &mut rng);
+    for s in [[-10.0, 10.0], [0.0, 0.0], [3.0, -3.0]] {
+        for a in [ddpg.policy(&s), td3.policy(&s)] {
+            assert!(a.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}
+
+#[test]
+fn noise_free_evaluation_matches_evaluate_shape() {
+    // Sanity: the crate's `evaluate` helper and our noise-free scorer agree
+    // on ordering for an oracle vs a constant policy.
+    let mut rng = StdRng::seed_from_u64(74);
+    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let oracle = evaluate(&mut env, |s| vec![s[0]], 20, 20, &mut rng);
+    let constant = evaluate(&mut env, |_| vec![0.0], 20, 20, &mut rng);
+    assert!(oracle > constant);
+}

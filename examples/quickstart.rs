@@ -1,0 +1,50 @@
+//! Quickstart: train EdgeSlice on the prototype configuration and compare
+//! it with the TARO baseline (a miniature of Fig. 6a).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use edgeslice::{AgentConfig, EdgeSliceSystem, OrchestratorKind, SystemConfig};
+use edgeslice_rl::Technique;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // EdgeSlice: 2 slices, 2 RAs, DDPG agents under ADMM coordination.
+    let mut edgeslice = EdgeSliceSystem::new(
+        SystemConfig::prototype(),
+        OrchestratorKind::Learned(Technique::Ddpg),
+        &AgentConfig::default(),
+        &mut rng,
+    );
+    println!("training orchestration agents (scaled-down schedule)...");
+    edgeslice.train(8_000, &mut rng);
+    let report = edgeslice.run(10, &mut rng);
+
+    // TARO baseline on an identically-seeded system.
+    let mut rng_b = StdRng::seed_from_u64(7);
+    let mut taro = EdgeSliceSystem::new(
+        SystemConfig::prototype(),
+        OrchestratorKind::Taro,
+        &AgentConfig::default(),
+        &mut rng_b,
+    );
+    let taro_report = taro.run(10, &mut rng_b);
+
+    println!("\nround  EdgeSlice      TARO");
+    for (r, t) in report.rounds.iter().zip(&taro_report.rounds) {
+        println!(
+            "{:>5}  {:>12.1}  {:>12.1}",
+            r.round, r.system_performance, t.system_performance
+        );
+    }
+    let es = report.tail_system_performance(3);
+    let ta = taro_report.tail_system_performance(3);
+    println!("\nconverged system performance: EdgeSlice {es:.1} vs TARO {ta:.1}");
+    println!("improvement factor: {:.2}x", ta / es);
+    if let Some(r) = report.rounds.last() {
+        println!("SLA met per slice: {:?} (Umin = -50)", r.sla_met);
+        println!("slice performance: {:?}", r.slice_performance);
+    }
+}

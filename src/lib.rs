@@ -1,0 +1,29 @@
+//! # edgeslice-repro
+//!
+//! Umbrella crate for the EdgeSlice (ICDCS 2020) reproduction: re-exports
+//! the workspace crates and hosts the runnable examples under `examples/`
+//! and the cross-crate integration tests under `tests/`.
+//!
+//! Start from [`edgeslice`] (the system) or run
+//! `cargo run --release --example quickstart`.
+
+pub use edgeslice;
+pub use edgeslice_netsim as netsim;
+pub use edgeslice_nn as nn;
+pub use edgeslice_optim as optim;
+pub use edgeslice_rl as rl;
+
+/// The arXiv identifier of the reproduced paper.
+pub const PAPER_ARXIV_ID: &str = "2003.12911";
+
+/// The paper's venue.
+pub const PAPER_VENUE: &str = "IEEE ICDCS 2020";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_resolve() {
+        let _ = crate::edgeslice::SystemConfig::prototype();
+        assert_eq!(crate::PAPER_ARXIV_ID, "2003.12911");
+    }
+}
