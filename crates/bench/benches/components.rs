@@ -9,9 +9,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use edgeslice::{
-    PerformanceCoordinator, RaEnvConfig, RaSliceEnv, Sla, SliceSpec, Taro,
-};
+use edgeslice::{PerformanceCoordinator, RaEnvConfig, RaSliceEnv, Sla, SliceSpec, Taro};
 use edgeslice_netsim::compute::{split_kernel, Kernel};
 use edgeslice_netsim::radio::{EnodeB, LteBand};
 use edgeslice_netsim::transport::{FlowMatch, IpAddr, ReconfigMode, SdnController};
@@ -52,7 +50,10 @@ fn make_env() -> RaSliceEnv {
     ]);
     RaSliceEnv::with_dataset(
         config,
-        vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+        vec![
+            Box::new(PoissonTraffic::paper()),
+            Box::new(PoissonTraffic::paper()),
+        ],
     )
 }
 
@@ -96,7 +97,13 @@ fn bench_coordinator(c: &mut Criterion) {
         b.iter(|| black_box(project_sum_halfspace(black_box(&cvec), -50.0)))
     });
     c.bench_function("coordinator/p2_projected_gradient", |b| {
-        b.iter(|| black_box(solve_projection_qp(black_box(&cvec), -50.0, QpConfig::default())))
+        b.iter(|| {
+            black_box(solve_projection_qp(
+                black_box(&cvec),
+                -50.0,
+                QpConfig::default(),
+            ))
+        })
     });
 }
 
@@ -122,10 +129,19 @@ fn bench_substrates(c: &mut Criterion) {
     });
 
     // Meter reconfiguration ablation: make-before-break vs delete-create.
-    let flow = FlowMatch { src: IpAddr([10, 0, 0, 1]), dst: IpAddr([192, 168, 0, 1]) };
+    let flow = FlowMatch {
+        src: IpAddr([10, 0, 0, 1]),
+        dst: IpAddr([192, 168, 0, 1]),
+    };
     for (name, mode) in [
-        ("transport/reconfig_make_before_break", ReconfigMode::MakeBeforeBreak),
-        ("transport/reconfig_break_before_make", ReconfigMode::BreakBeforeMake),
+        (
+            "transport/reconfig_make_before_break",
+            ReconfigMode::MakeBeforeBreak,
+        ),
+        (
+            "transport/reconfig_break_before_make",
+            ReconfigMode::BreakBeforeMake,
+        ),
     ] {
         c.bench_function(name, |b| {
             b.iter_batched(
@@ -149,7 +165,12 @@ fn bench_policies(c: &mut Criterion) {
     });
 
     // One DDPG gradient update at the scaled configuration.
-    let cfg = DdpgConfig { hidden: 64, batch_size: 128, warmup: 0, ..Default::default() };
+    let cfg = DdpgConfig {
+        hidden: 64,
+        batch_size: 128,
+        warmup: 0,
+        ..Default::default()
+    };
     let mut agent = Ddpg::new(4, 6, cfg, &mut rng);
     for i in 0..256 {
         agent.observe(&Transition {
@@ -166,11 +187,25 @@ fn bench_policies(c: &mut Criterion) {
 
     // Reward-shaping ablation: Eq. 15 with and without the β penalty term.
     let env_reward = |beta: f64| {
-        let params = edgeslice::RewardParams { rho: 1.0, beta, period: 10 };
-        edgeslice::reward(&params, &[-4.0, -9.0], &[-20.0, -30.0], &[1.2, 0.8, 1.1], &[1.0; 3])
+        let params = edgeslice::RewardParams {
+            rho: 1.0,
+            beta,
+            period: 10,
+        };
+        edgeslice::reward(
+            &params,
+            &[-4.0, -9.0],
+            &[-20.0, -30.0],
+            &[1.2, 0.8, 1.1],
+            &[1.0; 3],
+        )
     };
-    c.bench_function("reward/eq15_beta20", |b| b.iter(|| black_box(env_reward(20.0))));
-    c.bench_function("reward/eq15_beta0", |b| b.iter(|| black_box(env_reward(0.0))));
+    c.bench_function("reward/eq15_beta20", |b| {
+        b.iter(|| black_box(env_reward(20.0)))
+    });
+    c.bench_function("reward/eq15_beta0", |b| {
+        b.iter(|| black_box(env_reward(0.0)))
+    });
 }
 
 criterion_group! {

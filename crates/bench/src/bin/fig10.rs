@@ -77,7 +77,10 @@ fn main() {
                 &[("EdgeSlice", es), ("EdgeSlice-NT", nt), ("TARO", taro)],
             );
         } else {
-            print_row(&format!("{steps} steps"), &[("EdgeSlice", es), ("TARO", taro)]);
+            print_row(
+                &format!("{steps} steps"),
+                &[("EdgeSlice", es), ("TARO", taro)],
+            );
         }
     }
     println!("(paper: under-trained DRL agents can lose to TARO; well-trained EdgeSlice wins)");

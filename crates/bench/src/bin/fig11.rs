@@ -10,8 +10,8 @@
 use std::sync::Arc;
 
 use edgeslice::{
-    AgentConfig, EdgeSliceSystem, NegServiceTime, OrchestratorKind, QueuePenalty,
-    SystemConfig, TrafficKind,
+    AgentConfig, EdgeSliceSystem, NegServiceTime, OrchestratorKind, QueuePenalty, SystemConfig,
+    TrafficKind,
 };
 use edgeslice_bench::{cdf, print_row, Arm, Knobs};
 use edgeslice_rl::Technique;

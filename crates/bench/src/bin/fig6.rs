@@ -45,8 +45,18 @@ fn main() {
     println!("(paper: 3.69x over TARO, 2.74x over EdgeSlice-NT)");
 
     println!("\n=== Fig. 6 (b): EdgeSlice per-slice performance vs time interval ===");
-    let s1 = downsample(&systems[0].monitor().slice_interval_series(SliceId(0), period), 5);
-    let s2 = downsample(&systems[0].monitor().slice_interval_series(SliceId(1), period), 5);
+    let s1 = downsample(
+        &systems[0]
+            .monitor()
+            .slice_interval_series(SliceId(0), period),
+        5,
+    );
+    let s2 = downsample(
+        &systems[0]
+            .monitor()
+            .slice_interval_series(SliceId(1), period),
+        5,
+    );
     print_series("interval/5", &["Slice 1", "Slice 2"], &[s1, s2]);
     if let Some(last) = reports[0].rounds.last() {
         println!("\nfinal-round per-slice performance (SLA Umin = -50 per period):");

@@ -54,7 +54,12 @@ impl Policy<'_> {
 
 /// Runs `episodes` 10-interval episodes; returns per-interval per-slice
 /// performance samples and mean per-slice usage `η`.
-fn evaluate(env: &mut RaSliceEnv, policy: &Policy, episodes: usize, rng: &mut StdRng) -> (Vec<f64>, [f64; 2]) {
+fn evaluate(
+    env: &mut RaSliceEnv,
+    policy: &Policy,
+    episodes: usize,
+    rng: &mut StdRng,
+) -> (Vec<f64>, [f64; 2]) {
     env.set_randomize_coord(false);
     env.set_coordination(&COORD);
     let mut perf_samples = Vec::new();
@@ -112,7 +117,11 @@ fn main() {
     println!("=== Fig. 8 (a): CDF of slice performance under random traffic ===");
     let arms: Vec<(&str, StateSpec, Policy)> = vec![
         ("EdgeSlice", StateSpec::Full, Policy::Agent(&agent_full)),
-        ("EdgeSlice-NT", StateSpec::CoordinationOnly, Policy::Agent(&agent_nt)),
+        (
+            "EdgeSlice-NT",
+            StateSpec::CoordinationOnly,
+            Policy::Agent(&agent_nt),
+        ),
         ("TARO", StateSpec::Full, Policy::Taro(Taro::new())),
     ];
     for (label, spec, policy) in &arms {
@@ -154,7 +163,11 @@ fn main() {
                     ],
                 );
                 let (_, eta) = evaluate(&mut env, policy, 20, &mut rng);
-                let ratio = if eta[1] > 1e-9 { eta[0] / eta[1] } else { f64::INFINITY };
+                let ratio = if eta[1] > 1e-9 {
+                    eta[0] / eta[1]
+                } else {
+                    f64::INFINITY
+                };
                 print!("  {ratio:>7.2}");
             }
             println!();

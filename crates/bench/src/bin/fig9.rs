@@ -128,7 +128,10 @@ fn main() {
         } else {
             print_row(
                 &format!("{n_slices} slices"),
-                &[("EdgeSlice", es / n_slices as f64), ("TARO", ta / n_slices as f64)],
+                &[
+                    ("EdgeSlice", es / n_slices as f64),
+                    ("TARO", ta / n_slices as f64),
+                ],
             );
         }
     }

@@ -10,23 +10,39 @@ use edgeslice_netsim::{AppProfile, ResourceAutonomy};
 fn main() {
     println!("=== Table II: prototype inventory (as modeled) ===");
     let ra = ResourceAutonomy::prototype(0, 2);
-    println!("  eNodeB: band {:?}, {} PRBs (5 MHz), {:.0} Mb/s peak cell rate",
-        ra.enodeb().band(), ra.enodeb().total_prbs(), ra.enodeb().cell_rate_mbps());
+    println!(
+        "  eNodeB: band {:?}, {} PRBs (5 MHz), {:.0} Mb/s peak cell rate",
+        ra.enodeb().band(),
+        ra.enodeb().total_prbs(),
+        ra.enodeb().cell_rate_mbps()
+    );
     let ra2 = ResourceAutonomy::prototype(1, 2);
-    println!("  eNodeB 2: band {:?} (co-channel interference avoided by band selection)",
-        ra2.enodeb().band());
+    println!(
+        "  eNodeB 2: band {:?} (co-channel interference avoided by band selection)",
+        ra2.enodeb().band()
+    );
     assert_ne!(ra.enodeb().band(), ra2.enodeb().band());
     assert_eq!(ra.enodeb().band(), LteBand::Band7);
-    println!("  transport: {} OpenFlow switches, {:.0} Mb/s RAN-edge link",
-        ra.transport().switches().len(), ra.link_mbps());
-    println!("  edge GPU: {} CUDA threads/RA, {:.0} GFLOPs/s effective",
-        ra.gpu().total_threads(), ra.gpu().peak_gflops_s());
+    println!(
+        "  transport: {} OpenFlow switches, {:.0} Mb/s RAN-edge link",
+        ra.transport().switches().len(),
+        ra.link_mbps()
+    );
+    println!(
+        "  edge GPU: {} CUDA threads/RA, {:.0} GFLOPs/s effective",
+        ra.gpu().total_threads(),
+        ra.gpu().peak_gflops_s()
+    );
     println!("  2 RAs x 2 slices x 1 user each; slice apps:");
-    for (i, app) in [AppProfile::traffic_heavy(), AppProfile::compute_heavy()].iter().enumerate() {
+    for (i, app) in [AppProfile::traffic_heavy(), AppProfile::compute_heavy()]
+        .iter()
+        .enumerate()
+    {
         println!(
             "    slice {}: {}x{} frames ({:.2} Mb/task), YOLO-{} ({:.1} GFLOP/task)",
             i + 1,
-            app.resolution.side(), app.resolution.side(),
+            app.resolution.side(),
+            app.resolution.side(),
             app.radio_bits() / 1e6,
             app.model.input_side(),
             app.compute_gflops(),
@@ -52,10 +68,16 @@ fn main() {
         gpu.submit(TenantId(1), Kernel::new(51_200, 140.0));
         gpu.advance(0.1);
     }
-    println!("  two MPS tenants under load: occupancy within budgets = {}", gpu.occupancy_within_budgets());
+    println!(
+        "  two MPS tenants under load: occupancy within budgets = {}",
+        gpu.occupancy_within_budgets()
+    );
 
     println!("\n=== Sec. V-B: transport reconfiguration ===");
-    let flow = FlowMatch { src: IpAddr([10, 0, 0, 1]), dst: IpAddr([192, 168, 0, 10]) };
+    let flow = FlowMatch {
+        src: IpAddr([10, 0, 0, 1]),
+        dst: IpAddr([192, 168, 0, 10]),
+    };
     for mode in [ReconfigMode::BreakBeforeMake, ReconfigMode::MakeBeforeBreak] {
         let mut ctl = SdnController::prototype();
         let mut dark_transitions = 0;

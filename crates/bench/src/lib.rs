@@ -17,9 +17,7 @@
 //! minutes; set `EDGESLICE_TRAIN_STEPS` / `EDGESLICE_SEED` to change the
 //! schedule (EXPERIMENTS.md records the schedules used).
 
-use edgeslice::{
-    AgentConfig, EdgeSliceSystem, OrchestratorKind, RunReport, SystemConfig,
-};
+use edgeslice::{AgentConfig, EdgeSliceSystem, OrchestratorKind, RunReport, SystemConfig};
 use edgeslice_rl::Technique;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -209,13 +207,19 @@ mod tests {
 
     #[test]
     fn downsample_averages_blocks() {
-        assert_eq!(downsample(&[1.0, 3.0, 5.0, 7.0, 9.0], 2), vec![2.0, 6.0, 9.0]);
+        assert_eq!(
+            downsample(&[1.0, 3.0, 5.0, 7.0, 9.0], 2),
+            vec![2.0, 6.0, 9.0]
+        );
         assert_eq!(downsample(&[1.0, 2.0], 1), vec![1.0, 2.0]);
     }
 
     #[test]
     fn knobs_streams_decorrelate() {
-        let k = Knobs { train_steps: 100, seed: 1 };
+        let k = Knobs {
+            train_steps: 100,
+            seed: 1,
+        };
         let mut a = k.rng(0);
         let mut b = k.rng(1);
         use rand::Rng;

@@ -62,7 +62,10 @@ impl std::fmt::Display for RejectReason {
                 ("computing", needed, available)
             }
         };
-        write!(f, "{domain} exhausted: request needs {needed:.2} of capacity, {available:.2} available")
+        write!(
+            f,
+            "{domain} exhausted: request needs {needed:.2} of capacity, {available:.2} available"
+        )
     }
 }
 
@@ -95,7 +98,10 @@ impl DemandEstimate {
         capacities: &RaCapacities,
         utilization: f64,
     ) -> Self {
-        assert!((0.0..1.0).contains(&utilization) && utilization > 0.0, "bad utilization");
+        assert!(
+            (0.0..1.0).contains(&utilization) && utilization > 0.0,
+            "bad utilization"
+        );
         assert!(rate >= 0.0 && rate.is_finite(), "bad rate");
         let radio_t = app.radio_bits() / (capacities.radio_mbps * 1e6);
         let transport_t = app.transport_bits() / (capacities.transport_mbps * 1e6);
@@ -133,8 +139,16 @@ impl AdmissionController {
     ///
     /// Panics unless `0 < utilization < 1`.
     pub fn new(capacities: RaCapacities, utilization: f64) -> Self {
-        assert!((0.0..1.0).contains(&utilization) && utilization > 0.0, "bad utilization");
-        Self { capacities, utilization, committed: [0.0; 3], admitted: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&utilization) && utilization > 0.0,
+            "bad utilization"
+        );
+        Self {
+            capacities,
+            utilization,
+            committed: [0.0; 3],
+            admitted: Vec::new(),
+        }
     }
 
     /// The prototype controller: Table II capacities, 70% load target.
@@ -172,13 +186,22 @@ impl AdmissionController {
         let residual = self.residual();
         let d = demand.as_array();
         if d[0] > residual[0] + 1e-12 {
-            return Err(RejectReason::RadioExhausted { needed: d[0], available: residual[0] });
+            return Err(RejectReason::RadioExhausted {
+                needed: d[0],
+                available: residual[0],
+            });
         }
         if d[1] > residual[1] + 1e-12 {
-            return Err(RejectReason::TransportExhausted { needed: d[1], available: residual[1] });
+            return Err(RejectReason::TransportExhausted {
+                needed: d[1],
+                available: residual[1],
+            });
         }
         if d[2] > residual[2] + 1e-12 {
-            return Err(RejectReason::ComputingExhausted { needed: d[2], available: residual[2] });
+            return Err(RejectReason::ComputingExhausted {
+                needed: d[2],
+                available: residual[2],
+            });
         }
         for (c, v) in self.committed.iter_mut().zip(d) {
             *c += v;
@@ -190,21 +213,27 @@ impl AdmissionController {
 
     /// Releases a slice's committed demand (tenant teardown over SR).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the slice is unknown.
-    pub fn release(&mut self, slice: SliceId, expected_rate: f64) {
+    /// Returns [`crate::EdgeSliceError::SliceNotAdmitted`] if the slice is
+    /// unknown, leaving the controller unchanged.
+    pub fn release(
+        &mut self,
+        slice: SliceId,
+        expected_rate: f64,
+    ) -> Result<(), crate::EdgeSliceError> {
         let pos = self
             .admitted
             .iter()
             .position(|s| s.id == slice)
-            .expect("slice must have been admitted");
+            .ok_or(crate::EdgeSliceError::SliceNotAdmitted { slice })?;
         let spec = self.admitted.remove(pos);
         let demand =
             DemandEstimate::for_app(&spec.app, expected_rate, &self.capacities, self.utilization);
         for (c, v) in self.committed.iter_mut().zip(demand.as_array()) {
             *c = (*c - v).max(0.0);
         }
+        Ok(())
     }
 }
 
@@ -213,7 +242,11 @@ mod tests {
     use super::*;
 
     fn request(app: AppProfile, rate: f64) -> SliceRequest {
-        SliceRequest { app, expected_rate: rate, sla: Sla::paper() }
+        SliceRequest {
+            app,
+            expected_rate: rate,
+            sla: Sla::paper(),
+        }
     }
 
     #[test]
@@ -222,7 +255,10 @@ mod tests {
         let lo = DemandEstimate::for_app(&AppProfile::traffic_heavy(), 5.0, &caps, 0.7);
         let hi = DemandEstimate::for_app(&AppProfile::traffic_heavy(), 10.0, &caps, 0.7);
         assert!((hi.radio - 2.0 * lo.radio).abs() < 1e-12);
-        assert!(hi.radio > hi.compute, "traffic-heavy app is radio-dominated");
+        assert!(
+            hi.radio > hi.compute,
+            "traffic-heavy app is radio-dominated"
+        );
     }
 
     #[test]
@@ -236,8 +272,12 @@ mod tests {
     #[test]
     fn admits_the_experimental_pair() {
         let mut ctl = AdmissionController::prototype();
-        assert!(ctl.decide(&request(AppProfile::traffic_heavy(), 10.0)).is_ok());
-        assert!(ctl.decide(&request(AppProfile::compute_heavy(), 10.0)).is_ok());
+        assert!(ctl
+            .decide(&request(AppProfile::traffic_heavy(), 10.0))
+            .is_ok());
+        assert!(ctl
+            .decide(&request(AppProfile::compute_heavy(), 10.0))
+            .is_ok());
         assert_eq!(ctl.admitted().len(), 2);
         assert_eq!(ctl.admitted()[1].id, SliceId(1));
     }
@@ -251,7 +291,10 @@ mod tests {
             match ctl.decide(&request(AppProfile::traffic_heavy(), 10.0)) {
                 Ok(_) => admitted += 1,
                 Err(reason) => {
-                    assert!(matches!(reason, RejectReason::RadioExhausted { .. }), "{reason}");
+                    assert!(
+                        matches!(reason, RejectReason::RadioExhausted { .. }),
+                        "{reason}"
+                    );
                     break;
                 }
             }
@@ -271,9 +314,11 @@ mod tests {
     #[test]
     fn release_restores_capacity() {
         let mut ctl = AdmissionController::prototype();
-        let spec = ctl.decide(&request(AppProfile::traffic_heavy(), 10.0)).unwrap();
+        let spec = ctl
+            .decide(&request(AppProfile::traffic_heavy(), 10.0))
+            .unwrap();
         let before = ctl.residual();
-        ctl.release(spec.id, 10.0);
+        ctl.release(spec.id, 10.0).unwrap();
         let after = ctl.residual();
         assert!(after[0] > before[0]);
         assert!((after[0] - 1.0).abs() < 1e-9);
@@ -281,8 +326,22 @@ mod tests {
     }
 
     #[test]
+    fn release_of_unknown_slice_is_an_error() {
+        let mut ctl = AdmissionController::prototype();
+        let err = ctl.release(SliceId(9), 10.0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EdgeSliceError::SliceNotAdmitted { slice: SliceId(9) }
+        ));
+        assert!(err.to_string().contains("slice"));
+    }
+
+    #[test]
     fn reject_reason_displays() {
-        let r = RejectReason::ComputingExhausted { needed: 0.8, available: 0.1 };
+        let r = RejectReason::ComputingExhausted {
+            needed: 0.8,
+            available: 0.1,
+        };
         let s = r.to_string();
         assert!(s.contains("computing") && s.contains("0.80"));
     }

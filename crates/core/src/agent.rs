@@ -76,7 +76,10 @@ impl OrchestrationAgent {
 
     /// Clones this agent (including its learned parameters) for another RA.
     pub fn clone_for_ra(&self, ra: RaId) -> OrchestrationAgent {
-        OrchestrationAgent { ra, backend: self.backend.clone() }
+        OrchestrationAgent {
+            ra,
+            backend: self.backend.clone(),
+        }
     }
 
     /// The learning backend (e.g. for checkpoint extraction).
@@ -148,7 +151,10 @@ mod tests {
         ]);
         RaSliceEnv::with_dataset(
             config,
-            vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+            vec![
+                Box::new(PoissonTraffic::paper()),
+                Box::new(PoissonTraffic::paper()),
+            ],
         )
     }
 
@@ -198,7 +204,10 @@ mod tests {
         config.state_spec = StateSpec::CoordinationOnly;
         let env = RaSliceEnv::with_dataset(
             config,
-            vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+            vec![
+                Box::new(PoissonTraffic::paper()),
+                Box::new(PoissonTraffic::paper()),
+            ],
         );
         let agent = OrchestrationAgent::new(
             RaId(0),

@@ -24,7 +24,11 @@ impl Taro {
         queue_lengths
             .iter()
             .map(|&l| {
-                let share = if total > 0.0 { l.max(0.0) / total } else { 1.0 / n as f64 };
+                let share = if total > 0.0 {
+                    l.max(0.0) / total
+                } else {
+                    1.0 / n as f64
+                };
                 DomainShares::new(share, share, share)
             })
             .collect()
@@ -62,7 +66,10 @@ mod tests {
         for lens in [&[5.0, 5.0][..], &[100.0, 1.0], &[0.0, 7.0]] {
             let shares = taro.allocate(lens);
             let sum: f64 = shares.iter().map(|s| s.radio).sum();
-            assert!((sum - 1.0).abs() < 1e-9, "TARO always uses the full capacity");
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "TARO always uses the full capacity"
+            );
         }
     }
 

@@ -115,9 +115,9 @@ impl PolicyCheckpoint {
         let out = self.network.forward_one(state);
         match self.decode {
             Decode::Direct => out.into_iter().map(|v| v.clamp(0.0, 1.0)).collect(),
-            Decode::SigmoidMeanHead => {
-                (0..self.action_dim).map(|j| edgeslice_nn::sigmoid(out[j])).collect()
-            }
+            Decode::SigmoidMeanHead => (0..self.action_dim)
+                .map(|j| edgeslice_nn::sigmoid(out[j]))
+                .collect(),
         }
     }
 
@@ -128,7 +128,7 @@ impl PolicyCheckpoint {
     /// Returns an error if serialization fails (practically impossible for
     /// this structure).
     pub fn to_json(&self) -> Result<String, CheckpointError> {
-        serde_json_compat::to_string(self).map_err(CheckpointError)
+        serde_json::to_string(self).map_err(|e| CheckpointError(e.to_string()))
     }
 
     /// Restores from JSON.
@@ -137,12 +137,15 @@ impl PolicyCheckpoint {
     ///
     /// Returns an error on malformed input.
     pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
-        serde_json_compat::from_str(json).map_err(CheckpointError)
+        serde_json::from_str(json).map_err(|e| CheckpointError(e.to_string()))
     }
 
     /// Rehydrates the checkpoint as a deployable frozen agent for `ra`.
     pub fn into_frozen_policy(self, ra: RaId) -> FrozenPolicy {
-        FrozenPolicy { ra, checkpoint: self }
+        FrozenPolicy {
+            ra,
+            checkpoint: self,
+        }
     }
 }
 
@@ -165,17 +168,6 @@ impl FrozenPolicy {
     }
 }
 
-/// Thin string-error adapters over `serde_json`.
-mod serde_json_compat {
-    pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, String> {
-        serde_json::to_string(value).map_err(|e| e.to_string())
-    }
-
-    pub fn from_str<T: serde::de::DeserializeOwned>(s: &str) -> Result<T, String> {
-        serde_json::from_str(s).map_err(|e| e.to_string())
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,7 +183,10 @@ mod tests {
                 SliceSpec::experiment_slice1(),
                 SliceSpec::experiment_slice2(),
             ]),
-            vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+            vec![
+                Box::new(PoissonTraffic::paper()),
+                Box::new(PoissonTraffic::paper()),
+            ],
         )
     }
 
@@ -222,8 +217,13 @@ mod tests {
     fn frozen_policy_binds_an_ra() {
         let mut rng = StdRng::seed_from_u64(1);
         let e = env();
-        let agent =
-            OrchestrationAgent::new(RaId(0), Technique::Ddpg, &e, &AgentConfig::default(), &mut rng);
+        let agent = OrchestrationAgent::new(
+            RaId(0),
+            Technique::Ddpg,
+            &e,
+            &AgentConfig::default(),
+            &mut rng,
+        );
         let frozen = PolicyCheckpoint::from_agent(&agent).into_frozen_policy(RaId(7));
         assert_eq!(frozen.ra(), RaId(7));
         let a = frozen.decide(&vec![0.1; e.state_dim()]);

@@ -6,6 +6,22 @@
 //! `y ← y + (Σ_t U − z)` (Eq. 10). The only message it exchanges with the
 //! orchestration agents is the coordinating information `z − y` per
 //! (slice, RA), which is what keeps EdgeSlice's communication overhead low.
+//!
+//! # Degraded coordination
+//!
+//! Deployed RAs miss rounds: outages, stragglers, lost reports. The
+//! coordinator degrades gracefully instead of stalling the round
+//! ([`PerformanceCoordinator::update_partial`]):
+//!
+//! * a missing RA's `Σ_t U` is substituted with its **last-known report**
+//!   for up to a configurable **staleness budget** of consecutive rounds;
+//! * the missing RA's dual column is **frozen** (no `y` ascent on stale
+//!   data — stale residuals would corrupt the consensus);
+//! * past the budget the RA is **declared dead**: its columns leave the
+//!   projection, so the SLA half-space `Σ_j z_{i,j} ≥ Umin_i` spreads each
+//!   slice's requirement across the survivors;
+//! * a report from a dead RA **revives** it with a zeroed dual column (the
+//!   rejoining RA restarts from checkpointed policy, not stale duals).
 
 use edgeslice_optim::{
     dual_update, project_sum_halfspace, AdmmConfig, AdmmResiduals, ConvergenceTracker,
@@ -47,6 +63,14 @@ pub struct PerformanceCoordinator {
     /// coordination signal outside the agents' trained input range — the
     /// standard safeguarded-ADMM device.
     dual_clamp: f64,
+    /// Last report received per RA, `[slice][ra]` (bounded-staleness reuse).
+    last_known: Vec<Vec<f64>>,
+    /// Consecutive rounds each RA has gone without reporting.
+    staleness: Vec<usize>,
+    /// Missed rounds tolerated before an RA is declared dead.
+    staleness_budget: usize,
+    /// RAs currently declared dead (past the staleness budget).
+    dead: Vec<bool>,
 }
 
 impl PerformanceCoordinator {
@@ -66,6 +90,7 @@ impl PerformanceCoordinator {
             .map(|sla| vec![sla.umin / n_ras as f64; n_ras])
             .collect();
         let y = vec![vec![0.0; n_ras]; slas.len()];
+        let last_known = vec![vec![0.0; n_ras]; slas.len()];
         Self {
             slas: slas.to_vec(),
             n_ras,
@@ -74,6 +99,10 @@ impl PerformanceCoordinator {
             config,
             tracker: ConvergenceTracker::new(),
             dual_clamp: 50.0,
+            last_known,
+            staleness: vec![0; n_ras],
+            staleness_budget: 3,
+            dead: vec![false; n_ras],
         }
     }
 
@@ -128,26 +157,128 @@ impl PerformanceCoordinator {
     ///
     /// Panics if `achieved` is not `n_slices × n_ras`.
     pub fn update(&mut self, achieved: &[Vec<f64>]) -> AdmmResiduals {
+        let present = vec![true; self.n_ras];
+        self.update_partial(achieved, &present)
+    }
+
+    /// One coordination round with a possibly incomplete set of RA reports.
+    ///
+    /// `present[j]` says whether RA `j`'s report made this round's
+    /// deadline; for missing RAs, `achieved[·][j]` is ignored. The
+    /// degradation policy (module docs) substitutes last-known reports
+    /// within the staleness budget, freezes missing RAs' dual columns,
+    /// drops dead RAs from the projection and revives rejoining ones with
+    /// zeroed duals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `achieved` is not `n_slices × n_ras` or
+    /// `present.len() != n_ras`.
+    pub fn update_partial(&mut self, achieved: &[Vec<f64>], present: &[bool]) -> AdmmResiduals {
         assert_eq!(achieved.len(), self.slas.len(), "slice count mismatch");
+        assert_eq!(present.len(), self.n_ras, "presence flag count mismatch");
+
+        // Liveness bookkeeping first: arrival of a report always revives.
+        for j in 0..self.n_ras {
+            if present[j] {
+                if self.dead[j] {
+                    // Rejoin after death: the RA restarts from checkpointed
+                    // policy; stale duals would mis-steer it.
+                    for yr in &mut self.y {
+                        yr[j] = 0.0;
+                    }
+                }
+                self.dead[j] = false;
+                self.staleness[j] = 0;
+            } else {
+                self.staleness[j] += 1;
+                if self.staleness[j] > self.staleness_budget {
+                    self.dead[j] = true;
+                    for row in self.z.iter_mut().chain(self.y.iter_mut()) {
+                        row[j] = 0.0;
+                    }
+                }
+            }
+        }
+
+        // Effective reports: fresh where present, last-known otherwise.
+        for (i, row) in achieved.iter().enumerate() {
+            assert_eq!(row.len(), self.n_ras, "RA count mismatch for slice {i}");
+            for (j, &u) in row.iter().enumerate() {
+                if present[j] {
+                    self.last_known[i][j] = u;
+                }
+            }
+        }
+        let alive: Vec<usize> = (0..self.n_ras).filter(|&j| !self.dead[j]).collect();
+
         let z_prev: Vec<f64> = self.z.iter().flatten().copied().collect();
-        for (i, sla) in self.slas.iter().enumerate() {
-            assert_eq!(achieved[i].len(), self.n_ras, "RA count mismatch for slice {i}");
-            // c = Σ_t U + y ; project onto { Σ_j z ≥ Umin_i } (P2).
-            let c: Vec<f64> =
-                achieved[i].iter().zip(&self.y[i]).map(|(u, y)| u + y).collect();
-            self.z[i] = project_sum_halfspace(&c, sla.umin);
-            // y ← y + (Σ_t U − z) (Eq. 10), safeguarded.
-            dual_update(&mut self.y[i], &achieved[i], &self.z[i]);
-            for y in &mut self.y[i] {
-                *y = y.clamp(-self.dual_clamp, self.dual_clamp);
+        for i in 0..self.slas.len() {
+            if alive.is_empty() {
+                break; // Total blackout: hold z and y until someone rejoins.
+            }
+            // c = Σ_t U + y over the alive columns only; project onto
+            // { Σ_{j alive} z ≥ Umin_i } — a dead RA's share of the SLA is
+            // redistributed across the survivors, not silently zeroed.
+            let c: Vec<f64> = alive
+                .iter()
+                .map(|&j| self.last_known[i][j] + self.y[i][j])
+                .collect();
+            let projected = project_sum_halfspace(&c, self.slas[i].umin);
+            for (slot, &j) in alive.iter().enumerate() {
+                self.z[i][j] = projected[slot];
+            }
+            // y ← y + (Σ_t U − z) (Eq. 10) for *reporting* RAs only: a
+            // stale report must not drive dual ascent.
+            let mut u_alive = vec![0.0; alive.len()];
+            let mut z_alive = vec![0.0; alive.len()];
+            let mut y_alive = vec![0.0; alive.len()];
+            for (slot, &j) in alive.iter().enumerate() {
+                u_alive[slot] = self.last_known[i][j];
+                z_alive[slot] = self.z[i][j];
+                y_alive[slot] = self.y[i][j];
+            }
+            dual_update(&mut y_alive, &u_alive, &z_alive);
+            for (slot, &j) in alive.iter().enumerate() {
+                if present[j] {
+                    self.y[i][j] = y_alive[slot].clamp(-self.dual_clamp, self.dual_clamp);
+                }
             }
         }
         let z_now: Vec<f64> = self.z.iter().flatten().copied().collect();
-        let achieved_flat: Vec<f64> = achieved.iter().flatten().copied().collect();
-        let residuals =
-            AdmmResiduals::compute(&achieved_flat, &z_now, &z_prev, self.config.rho);
+        let effective_flat: Vec<f64> = self.last_known.iter().flatten().copied().collect();
+        let residuals = AdmmResiduals::compute(&effective_flat, &z_now, &z_prev, self.config.rho);
         self.tracker.record(residuals);
         residuals
+    }
+
+    /// Sets the number of consecutive missed rounds tolerated before an RA
+    /// is declared dead (default 3).
+    pub fn set_staleness_budget(&mut self, rounds: usize) {
+        self.staleness_budget = rounds;
+    }
+
+    /// The staleness budget in effect, rounds.
+    pub fn staleness_budget(&self) -> usize {
+        self.staleness_budget
+    }
+
+    /// Consecutive rounds RA `ra` has gone without reporting.
+    pub fn staleness(&self, ra: RaId) -> usize {
+        self.staleness[ra.0]
+    }
+
+    /// Whether `ra` is currently declared dead.
+    pub fn is_dead(&self, ra: RaId) -> bool {
+        self.dead[ra.0]
+    }
+
+    /// RAs currently declared dead.
+    pub fn dead_ras(&self) -> Vec<RaId> {
+        (0..self.n_ras)
+            .filter(|&j| self.dead[j])
+            .map(RaId)
+            .collect()
     }
 
     /// True once the coordination loop should stop (converged or at the
@@ -173,7 +304,11 @@ mod tests {
     use super::*;
 
     fn coordinator() -> PerformanceCoordinator {
-        PerformanceCoordinator::new(&[Sla::new(-50.0), Sla::new(-50.0)], 2, AdmmConfig::default())
+        PerformanceCoordinator::new(
+            &[Sla::new(-50.0), Sla::new(-50.0)],
+            2,
+            AdmmConfig::default(),
+        )
     }
 
     #[test]
@@ -254,5 +389,84 @@ mod tests {
         let c = coordinator();
         assert!(c.sla_met(SliceId(0), &[vec![-20.0, -20.0], vec![0.0, 0.0]]));
         assert!(!c.sla_met(SliceId(0), &[vec![-40.0, -20.0], vec![0.0, 0.0]]));
+    }
+
+    #[test]
+    fn full_update_equals_update_partial_with_all_present() {
+        let mut a = coordinator();
+        let mut b = coordinator();
+        let achieved = vec![vec![-100.0, -80.0], vec![-10.0, -5.0]];
+        a.update(&achieved);
+        b.update_partial(&achieved, &[true, true]);
+        assert_eq!(a.z(), b.z());
+        assert_eq!(a.y(), b.y());
+    }
+
+    #[test]
+    fn missing_ra_freezes_its_dual_column() {
+        let mut c = coordinator();
+        c.update(&[vec![-100.0, -100.0], vec![-100.0, -100.0]]);
+        let y_before: Vec<f64> = c.y().iter().map(|row| row[1]).collect();
+        // RA 1 misses the next round: its duals must not move.
+        c.update_partial(&[vec![-120.0, -90.0], vec![-80.0, -70.0]], &[true, false]);
+        let y_after: Vec<f64> = c.y().iter().map(|row| row[1]).collect();
+        assert_eq!(y_before, y_after, "missing RA's duals moved");
+        assert_eq!(c.staleness(RaId(1)), 1);
+        assert!(!c.is_dead(RaId(1)));
+    }
+
+    #[test]
+    fn exceeding_the_staleness_budget_declares_death_and_redistributes() {
+        let mut c = coordinator();
+        c.set_staleness_budget(1);
+        let achieved = vec![vec![-100.0, -100.0], vec![-100.0, -100.0]];
+        c.update(&achieved);
+        c.update_partial(&achieved, &[true, false]); // within budget
+        assert!(!c.is_dead(RaId(1)));
+        c.update_partial(&achieved, &[true, false]); // budget exceeded
+        assert!(c.is_dead(RaId(1)));
+        assert_eq!(c.dead_ras(), vec![RaId(1)]);
+        for (i, zr) in c.z().iter().enumerate() {
+            assert_eq!(zr[1], 0.0, "dead column must leave the projection");
+            assert!(
+                zr[0] >= c.slas[i].umin - 1e-9,
+                "slice {i}: survivor must absorb the whole SLA, z = {}",
+                zr[0]
+            );
+        }
+    }
+
+    #[test]
+    fn rejoin_revives_with_zeroed_duals() {
+        let mut c = coordinator();
+        c.set_staleness_budget(0);
+        let achieved = vec![vec![-100.0, -100.0], vec![-100.0, -100.0]];
+        c.update(&achieved);
+        c.update_partial(&achieved, &[true, false]);
+        assert!(c.is_dead(RaId(1)));
+        c.update_partial(&achieved, &[true, true]);
+        assert!(!c.is_dead(RaId(1)));
+        assert_eq!(c.staleness(RaId(1)), 0);
+        // The revived column's duals restarted from zero before this
+        // round's ascent; after one ascent they are small relative to the
+        // survivor's accumulated duals.
+        assert!(c.y()[0][1].abs() <= c.y()[0][0].abs() + 1e-9);
+    }
+
+    #[test]
+    fn total_blackout_holds_state() {
+        let mut c = coordinator();
+        c.set_staleness_budget(0);
+        let achieved = vec![vec![-100.0, -100.0], vec![-100.0, -100.0]];
+        c.update(&achieved);
+        let (z, y) = (c.z().to_vec(), c.y().to_vec());
+        c.update_partial(&achieved, &[false, false]);
+        c.update_partial(&achieved, &[false, false]);
+        assert!(c.dead_ras() == vec![RaId(0), RaId(1)]);
+        // z/y zeroed for dead columns is the only change; a later rejoin
+        // rebuilds them. No NaNs, no panics.
+        assert!(c.z().iter().flatten().all(|v| v.is_finite()));
+        assert!(c.y().iter().flatten().all(|v| v.is_finite()));
+        let _ = (z, y);
     }
 }

@@ -142,6 +142,10 @@ pub struct RaSliceEnv {
     last_shares: Vec<DomainShares>,
     /// Last per-slice service time, seconds.
     last_service: Vec<f64>,
+    /// Per-domain capacity multipliers `[radio, transport, compute]` from
+    /// fault injection (`1.0` when healthy): a share `x` of a degraded
+    /// domain delivers what `x · scale` of the nominal capacity would.
+    capacity_scale: [f64; 3],
 }
 
 impl std::fmt::Debug for RaSliceEnv {
@@ -158,10 +162,7 @@ impl std::fmt::Debug for RaSliceEnv {
 impl RaSliceEnv {
     /// Builds a training environment over grid datasets generated from the
     /// prototype capacities.
-    pub fn with_dataset(
-        config: RaEnvConfig,
-        traffic: Vec<Box<dyn TrafficSource + Send>>,
-    ) -> Self {
+    pub fn with_dataset(config: RaEnvConfig, traffic: Vec<Box<dyn TrafficSource + Send>>) -> Self {
         let caps = RaCapacities::prototype();
         let datasets = config
             .slices
@@ -199,7 +200,33 @@ impl RaSliceEnv {
             last_perf: vec![0.0; n],
             last_shares: vec![DomainShares::new(0.0, 0.0, 0.0); n],
             last_service: vec![f64::INFINITY; n],
+            capacity_scale: [1.0; 3],
         }
+    }
+
+    /// Scales each domain's capacity (fault injection; `[1.0; 3]` restores
+    /// full capacity). Physical substrates scale inside the RA; dataset
+    /// models scale the effective shares fed to the grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every multiplier is finite and in `(0, 1]`.
+    pub fn set_capacity_scale(&mut self, scale: [f64; 3]) {
+        for s in scale {
+            assert!(
+                s.is_finite() && s > 0.0 && s <= 1.0,
+                "capacity scale {s} not in (0, 1]"
+            );
+        }
+        if let ServiceModel::Physical(ra) = &mut self.model {
+            ra.set_capacity_scale(scale);
+        }
+        self.capacity_scale = scale;
+    }
+
+    /// The per-domain capacity multipliers in effect.
+    pub fn capacity_scale(&self) -> [f64; 3] {
+        self.capacity_scale
     }
 
     /// Number of slices.
@@ -218,7 +245,11 @@ impl RaSliceEnv {
     ///
     /// Panics on a length mismatch.
     pub fn set_traffic(&mut self, traffic: Vec<Box<dyn TrafficSource + Send>>) {
-        assert_eq!(traffic.len(), self.n_slices(), "one traffic source per slice");
+        assert_eq!(
+            traffic.len(),
+            self.n_slices(),
+            "one traffic source per slice"
+        );
         self.traffic = traffic;
     }
 
@@ -303,20 +334,28 @@ impl RaSliceEnv {
     pub fn decode_action(&self, action: &[f64]) -> Vec<DomainShares> {
         assert_eq!(action.len(), self.action_dim(), "action length mismatch");
         (0..self.n_slices())
-            .map(|i| {
-                DomainShares::new(action[3 * i], action[3 * i + 1], action[3 * i + 2])
-            })
+            .map(|i| DomainShares::new(action[3 * i], action[3 * i + 1], action[3 * i + 2]))
             .collect()
     }
 
     /// Per-slice service times for a decoded action.
     fn service_times(&mut self, shares: &[DomainShares]) -> Vec<f64> {
         match &mut self.model {
-            ServiceModel::Dataset(datasets) => shares
-                .iter()
-                .zip(datasets.iter())
-                .map(|(sh, d)| d.predict(sh.as_array()))
-                .collect(),
+            ServiceModel::Dataset(datasets) => {
+                // A share `x` of a capacity scaled by `s` delivers what
+                // `x·s` of the nominal capacity would; the grid is indexed
+                // by nominal shares.
+                let scale = self.capacity_scale;
+                shares
+                    .iter()
+                    .zip(datasets.iter())
+                    .map(|(sh, d)| {
+                        let a = sh.as_array();
+                        d.predict([a[0] * scale[0], a[1] * scale[1], a[2] * scale[2]])
+                    })
+                    .collect()
+            }
+            // The physical RA applies its own capacity scale internally.
             ServiceModel::Physical(ra) => {
                 let apps: Vec<_> = self.config.slices.iter().map(|s| s.app).collect();
                 ra.service_times(shares, &apps)
@@ -369,7 +408,13 @@ impl RaSliceEnv {
                 *s += v;
             }
         }
-        let r = reward(&self.config.reward, &perf, &self.coord, &sums, &[1.0, 1.0, 1.0]);
+        let r = reward(
+            &self.config.reward,
+            &perf,
+            &self.coord,
+            &sums,
+            &[1.0, 1.0, 1.0],
+        );
 
         self.last_perf = perf.clone();
         self.last_shares = shares;
@@ -411,9 +456,17 @@ impl Environment for RaSliceEnv {
 
     fn step(&mut self, action: &[f64], rng: &mut StdRng) -> Step {
         let (raw, _) = self.advance(action, rng);
-        let reward = if self.config.squash_training_reward { raw.asinh() } else { raw };
+        let reward = if self.config.squash_training_reward {
+            raw.asinh()
+        } else {
+            raw
+        };
         let done = self.t >= self.config.reward.period;
-        Step { next_state: self.observe(), reward, done }
+        Step {
+            next_state: self.observe(),
+            reward,
+            done,
+        }
     }
 }
 
@@ -431,7 +484,10 @@ mod tests {
         config.state_spec = spec;
         RaSliceEnv::with_dataset(
             config,
-            vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+            vec![
+                Box::new(PoissonTraffic::paper()),
+                Box::new(PoissonTraffic::paper()),
+            ],
         )
     }
 
@@ -534,12 +590,18 @@ mod tests {
         let ra = ResourceAutonomy::prototype(0, 2);
         let mut phys = RaSliceEnv::new(
             config.clone(),
-            vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+            vec![
+                Box::new(PoissonTraffic::paper()),
+                Box::new(PoissonTraffic::paper()),
+            ],
             ServiceModel::Physical(Box::new(ra)),
         );
         let mut data = RaSliceEnv::with_dataset(
             config,
-            vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())],
+            vec![
+                Box::new(PoissonTraffic::paper()),
+                Box::new(PoissonTraffic::paper()),
+            ],
         );
         phys.reset(&mut rng);
         let mut rng2 = StdRng::seed_from_u64(4);
@@ -549,7 +611,11 @@ mod tests {
         let action = [0.6, 0.5, 0.4, 0.4, 0.5, 0.6];
         phys.advance(&action, &mut rng);
         data.advance(&action, &mut rng2);
-        for (a, b) in phys.last_service_times().iter().zip(data.last_service_times()) {
+        for (a, b) in phys
+            .last_service_times()
+            .iter()
+            .zip(data.last_service_times())
+        {
             let rel = (a - b).abs() / b.max(1e-9);
             assert!(rel < 0.05, "physical {a} vs dataset {b}");
         }

@@ -1,0 +1,579 @@
+//! Deterministic fault injection for the orchestration loop.
+//!
+//! Real wireless-edge deployments lose resource autonomies (node reboots,
+//! backhaul cuts), drop or delay the coordinator's `z − y` broadcasts, and
+//! see substrate capacity sag under interference or co-tenancy. This module
+//! injects all of those against [`crate::EdgeSliceSystem`] so the
+//! degradation policy can be exercised and measured:
+//!
+//! * a [`FaultConfig`] describes *stochastic* fault processes; a seeded
+//!   [`FaultPlan::generate`] expands it into a concrete, reproducible
+//!   schedule (same seed ⇒ byte-identical plan ⇒ byte-identical run);
+//! * [`FaultPlan::scripted`] builds a hand-written schedule for targeted
+//!   tests (e.g. "RA 1 is dark for rounds 3..6");
+//! * a [`FaultInjector`] compiles the plan into per-(RA, round) lookups the
+//!   orchestrator queries each round as a [`RaFaultView`].
+//!
+//! The injector is pure bookkeeping: all *reactions* (stale-report reuse,
+//! frozen duals, checkpoint re-sync, slice redistribution) live in the
+//! coordinator and orchestrator.
+
+use crate::error::EdgeSliceError;
+use crate::ids::{RaId, ResourceKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the stochastic fault processes, expanded by
+/// [`FaultPlan::generate`].
+///
+/// Rates are per-RA, per-round Bernoulli probabilities; durations are
+/// inclusive `(min, max)` ranges in coordination rounds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Seed for the fault stream (independent of the traffic seed).
+    pub seed: u64,
+    /// Number of resource autonomies in the system.
+    pub n_ras: usize,
+    /// Rounds the plan covers.
+    pub horizon_rounds: usize,
+    /// Probability an up RA starts an outage this round.
+    pub outage_rate: f64,
+    /// Outage duration range, rounds (inclusive).
+    pub outage_rounds: (usize, usize),
+    /// Probability an up RA's `z − y` broadcast is lost this round (the RA
+    /// orchestrates on the previous round's coordination).
+    pub broadcast_drop_rate: f64,
+    /// Probability an up RA's `Σ_t U` report misses the round deadline
+    /// (it serves traffic but the coordinator sees it one round late).
+    pub straggler_rate: f64,
+    /// Probability a capacity-degradation window starts on an up RA.
+    pub degradation_rate: f64,
+    /// Capacity multiplier during a degradation window (e.g. `0.5` halves
+    /// the affected domain's `R^{tot}`).
+    pub degradation_factor: f64,
+    /// Degradation duration range, rounds (inclusive).
+    pub degradation_rounds: (usize, usize),
+}
+
+impl FaultConfig {
+    /// A configuration that injects nothing (the fault-free baseline).
+    pub fn quiet(n_ras: usize, horizon_rounds: usize) -> Self {
+        Self {
+            seed: 0,
+            n_ras,
+            horizon_rounds,
+            outage_rate: 0.0,
+            outage_rounds: (1, 1),
+            broadcast_drop_rate: 0.0,
+            straggler_rate: 0.0,
+            degradation_rate: 0.0,
+            degradation_factor: 1.0,
+            degradation_rounds: (1, 1),
+        }
+    }
+
+    /// A moderately hostile environment: occasional short outages, lossy
+    /// coordination, stragglers and capacity sags.
+    pub fn stress(n_ras: usize, horizon_rounds: usize, seed: u64) -> Self {
+        Self {
+            seed,
+            n_ras,
+            horizon_rounds,
+            outage_rate: 0.05,
+            outage_rounds: (1, 3),
+            broadcast_drop_rate: 0.10,
+            straggler_rate: 0.10,
+            degradation_rate: 0.05,
+            degradation_factor: 0.5,
+            degradation_rounds: (1, 4),
+        }
+    }
+}
+
+/// One injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultEvent {
+    /// The RA is unreachable for `rounds` rounds starting at `start_round`:
+    /// no reports, no broadcasts received, no traffic served.
+    RaOutage {
+        /// The affected RA.
+        ra: RaId,
+        /// First dark round.
+        start_round: usize,
+        /// Outage length, rounds.
+        rounds: usize,
+    },
+    /// The coordinator's `z − y` broadcast to `ra` is lost in `round`; the
+    /// RA orchestrates on its previous coordination info.
+    BroadcastDrop {
+        /// The affected RA.
+        ra: RaId,
+        /// The lossy round.
+        round: usize,
+    },
+    /// `ra`'s `Σ_t U` report misses `round`'s deadline and reaches the
+    /// coordinator one round late.
+    Straggler {
+        /// The affected RA.
+        ra: RaId,
+        /// The round whose deadline is missed.
+        round: usize,
+    },
+    /// One substrate domain's total capacity is scaled by `factor` for
+    /// `rounds` rounds (the paper's `R^{tot}_{j,k}` temporarily shrinks).
+    CapacityDegradation {
+        /// The affected RA.
+        ra: RaId,
+        /// The degraded domain.
+        domain: ResourceKind,
+        /// First degraded round.
+        start_round: usize,
+        /// Window length, rounds.
+        rounds: usize,
+        /// Capacity multiplier in `(0, 1]`.
+        factor: f64,
+    },
+}
+
+impl FaultEvent {
+    fn ra(&self) -> RaId {
+        match *self {
+            FaultEvent::RaOutage { ra, .. }
+            | FaultEvent::BroadcastDrop { ra, .. }
+            | FaultEvent::Straggler { ra, .. }
+            | FaultEvent::CapacityDegradation { ra, .. } => ra,
+        }
+    }
+}
+
+/// A concrete, reproducible schedule of [`FaultEvent`]s over a horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    n_ras: usize,
+    horizon_rounds: usize,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// The empty plan (fault-free baseline).
+    pub fn none(n_ras: usize, horizon_rounds: usize) -> Self {
+        Self {
+            n_ras,
+            horizon_rounds,
+            events: Vec::new(),
+        }
+    }
+
+    /// Expands `config` into a concrete schedule with a dedicated
+    /// `StdRng` seeded from `config.seed`: the same configuration always
+    /// yields the same plan, independent of the traffic/training streams.
+    pub fn generate(config: &FaultConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ FAULT_STREAM_TAG);
+        let mut events = Vec::new();
+        for j in 0..config.n_ras {
+            let ra = RaId(j);
+            // Outage process: while down, no other fault can start.
+            let mut down_until = 0usize;
+            let mut degraded_until = 0usize;
+            for round in 0..config.horizon_rounds {
+                if round < down_until {
+                    continue;
+                }
+                if config.outage_rate > 0.0 && rng.gen_bool(config.outage_rate) {
+                    let (lo, hi) = config.outage_rounds;
+                    let len = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                    events.push(FaultEvent::RaOutage {
+                        ra,
+                        start_round: round,
+                        rounds: len,
+                    });
+                    down_until = round + len;
+                    continue;
+                }
+                if config.broadcast_drop_rate > 0.0 && rng.gen_bool(config.broadcast_drop_rate) {
+                    events.push(FaultEvent::BroadcastDrop { ra, round });
+                }
+                if config.straggler_rate > 0.0 && rng.gen_bool(config.straggler_rate) {
+                    events.push(FaultEvent::Straggler { ra, round });
+                }
+                if round >= degraded_until
+                    && config.degradation_rate > 0.0
+                    && rng.gen_bool(config.degradation_rate)
+                {
+                    let (lo, hi) = config.degradation_rounds;
+                    let len = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                    let domain = ResourceKind::ALL[rng.gen_range(0..ResourceKind::COUNT)];
+                    events.push(FaultEvent::CapacityDegradation {
+                        ra,
+                        domain,
+                        start_round: round,
+                        rounds: len,
+                        factor: config.degradation_factor,
+                    });
+                    degraded_until = round + len;
+                }
+            }
+        }
+        Self {
+            n_ras: config.n_ras,
+            horizon_rounds: config.horizon_rounds,
+            events,
+        }
+    }
+
+    /// Builds a hand-written schedule, validating every event against the
+    /// system size and horizon.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeSliceError::InvalidFaultPlan`] when an event references
+    /// an RA `≥ n_ras`, starts at/after the horizon, has a zero duration,
+    /// or a degradation factor outside `(0, 1]`.
+    pub fn scripted(
+        n_ras: usize,
+        horizon_rounds: usize,
+        events: Vec<FaultEvent>,
+    ) -> Result<Self, EdgeSliceError> {
+        for ev in &events {
+            let bad = |msg: String| Err(EdgeSliceError::InvalidFaultPlan(msg));
+            if ev.ra().0 >= n_ras {
+                return bad(format!("{:?} references RA ≥ {n_ras}", ev));
+            }
+            match *ev {
+                FaultEvent::RaOutage {
+                    start_round,
+                    rounds,
+                    ..
+                }
+                | FaultEvent::CapacityDegradation {
+                    start_round,
+                    rounds,
+                    ..
+                } if start_round >= horizon_rounds || rounds == 0 => {
+                    return bad(format!(
+                        "{ev:?} outside horizon {horizon_rounds} or zero-length"
+                    ));
+                }
+                FaultEvent::BroadcastDrop { round, .. } | FaultEvent::Straggler { round, .. }
+                    if round >= horizon_rounds =>
+                {
+                    return bad(format!("{ev:?} outside horizon {horizon_rounds}"));
+                }
+                FaultEvent::CapacityDegradation { factor, .. }
+                    if !(factor > 0.0 && factor <= 1.0) =>
+                {
+                    return bad(format!("{ev:?} factor must be in (0, 1]"));
+                }
+                _ => {}
+            }
+        }
+        Ok(Self {
+            n_ras,
+            horizon_rounds,
+            events,
+        })
+    }
+
+    /// The scheduled events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of RAs the plan covers.
+    pub fn n_ras(&self) -> usize {
+        self.n_ras
+    }
+
+    /// Rounds the plan covers.
+    pub fn horizon_rounds(&self) -> usize {
+        self.horizon_rounds
+    }
+}
+
+/// Domain-separation tag keeping the fault stream independent of every
+/// other consumer of the same user-facing seed.
+const FAULT_STREAM_TAG: u64 = 0xFA17_0000_0000_0001;
+
+/// What one RA experiences in one round, as queried by the orchestrator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaFaultView {
+    /// The RA is dark this round: serves nothing, reports nothing.
+    pub down: bool,
+    /// First up round after an outage: the orchestrator re-syncs the RA
+    /// from its [`crate::PolicyCheckpoint`] and flushes its queues.
+    pub rejoining: bool,
+    /// The `z − y` broadcast was lost: the RA keeps last round's
+    /// coordination info.
+    pub broadcast_dropped: bool,
+    /// The report misses the deadline: the coordinator treats the RA as
+    /// missing this round even though traffic was served.
+    pub straggler: bool,
+    /// Per-domain capacity multipliers `[radio, transport, compute]`,
+    /// `1.0` when healthy.
+    pub capacity_scale: [f64; 3],
+}
+
+impl RaFaultView {
+    /// The healthy view.
+    pub fn healthy() -> Self {
+        Self {
+            down: false,
+            rejoining: false,
+            broadcast_dropped: false,
+            straggler: false,
+            capacity_scale: [1.0; 3],
+        }
+    }
+
+    /// Whether anything at all is wrong this round.
+    pub fn is_healthy(&self) -> bool {
+        *self == Self::healthy()
+    }
+}
+
+/// A [`FaultPlan`] compiled into O(1) per-(RA, round) lookups.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    /// `[round][ra]` flags / scales.
+    down: Vec<Vec<bool>>,
+    dropped: Vec<Vec<bool>>,
+    straggle: Vec<Vec<bool>>,
+    scale: Vec<Vec<[f64; 3]>>,
+}
+
+impl FaultInjector {
+    /// Compiles `plan` into round-indexed tables.
+    pub fn new(plan: FaultPlan) -> Self {
+        let (rounds, n_ras) = (plan.horizon_rounds, plan.n_ras);
+        let mut down = vec![vec![false; n_ras]; rounds];
+        let mut dropped = vec![vec![false; n_ras]; rounds];
+        let mut straggle = vec![vec![false; n_ras]; rounds];
+        let mut scale = vec![vec![[1.0f64; 3]; n_ras]; rounds];
+        for ev in &plan.events {
+            match *ev {
+                FaultEvent::RaOutage {
+                    ra,
+                    start_round,
+                    rounds: len,
+                } => {
+                    let end = (start_round + len).min(rounds);
+                    for row in &mut down[start_round..end] {
+                        row[ra.0] = true;
+                    }
+                }
+                FaultEvent::BroadcastDrop { ra, round } => {
+                    if round < rounds {
+                        dropped[round][ra.0] = true;
+                    }
+                }
+                FaultEvent::Straggler { ra, round } => {
+                    if round < rounds {
+                        straggle[round][ra.0] = true;
+                    }
+                }
+                FaultEvent::CapacityDegradation {
+                    ra,
+                    domain,
+                    start_round,
+                    rounds: len,
+                    factor,
+                } => {
+                    let end = (start_round + len).min(rounds);
+                    for row in &mut scale[start_round..end] {
+                        row[ra.0][domain.index()] *= factor;
+                    }
+                }
+            }
+        }
+        Self {
+            plan,
+            down,
+            dropped,
+            straggle,
+            scale,
+        }
+    }
+
+    /// The fault-free injector.
+    pub fn none(n_ras: usize, horizon_rounds: usize) -> Self {
+        Self::new(FaultPlan::none(n_ras, horizon_rounds))
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// What `ra` experiences in `round`. Rounds beyond the horizon are
+    /// healthy (the plan simply ran out).
+    pub fn view(&self, ra: RaId, round: usize) -> RaFaultView {
+        if round >= self.plan.horizon_rounds || ra.0 >= self.plan.n_ras {
+            return RaFaultView::healthy();
+        }
+        let down = self.down[round][ra.0];
+        let was_down = round > 0 && self.down[round - 1][ra.0];
+        RaFaultView {
+            down,
+            rejoining: !down && was_down,
+            broadcast_dropped: self.dropped[round][ra.0] && !down,
+            straggler: self.straggle[round][ra.0] && !down,
+            capacity_scale: if down {
+                [1.0; 3]
+            } else {
+                self.scale[round][ra.0]
+            },
+        }
+    }
+
+    /// Whether `ra` is dark in `round`.
+    pub fn ra_down(&self, ra: RaId, round: usize) -> bool {
+        self.view(ra, round).down
+    }
+
+    /// RAs dark in `round`.
+    pub fn down_ras(&self, round: usize) -> Vec<RaId> {
+        (0..self.plan.n_ras)
+            .map(RaId)
+            .filter(|&ra| self.ra_down(ra, round))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_in_the_seed() {
+        let cfg = FaultConfig::stress(4, 50, 1234);
+        let a = FaultPlan::generate(&cfg);
+        let b = FaultPlan::generate(&cfg);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(&FaultConfig { seed: 1235, ..cfg });
+        assert_ne!(a, c, "different seeds should differ for a hostile config");
+    }
+
+    #[test]
+    fn quiet_config_generates_nothing() {
+        let plan = FaultPlan::generate(&FaultConfig::quiet(3, 100));
+        assert!(plan.events().is_empty());
+    }
+
+    #[test]
+    fn scripted_validates_events() {
+        let ok = FaultPlan::scripted(
+            2,
+            10,
+            vec![FaultEvent::RaOutage {
+                ra: RaId(1),
+                start_round: 3,
+                rounds: 2,
+            }],
+        );
+        assert!(ok.is_ok());
+        let bad_ra = FaultPlan::scripted(
+            2,
+            10,
+            vec![FaultEvent::BroadcastDrop {
+                ra: RaId(2),
+                round: 0,
+            }],
+        );
+        assert!(matches!(bad_ra, Err(EdgeSliceError::InvalidFaultPlan(_))));
+        let bad_factor = FaultPlan::scripted(
+            2,
+            10,
+            vec![FaultEvent::CapacityDegradation {
+                ra: RaId(0),
+                domain: ResourceKind::Radio,
+                start_round: 0,
+                rounds: 2,
+                factor: 0.0,
+            }],
+        );
+        assert!(matches!(
+            bad_factor,
+            Err(EdgeSliceError::InvalidFaultPlan(_))
+        ));
+    }
+
+    #[test]
+    fn injector_compiles_outage_windows_and_rejoin() {
+        let plan = FaultPlan::scripted(
+            2,
+            10,
+            vec![FaultEvent::RaOutage {
+                ra: RaId(1),
+                start_round: 2,
+                rounds: 3,
+            }],
+        )
+        .unwrap();
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.ra_down(RaId(1), 1));
+        for r in 2..5 {
+            assert!(inj.ra_down(RaId(1), r));
+            assert!(!inj.ra_down(RaId(0), r));
+        }
+        assert!(!inj.ra_down(RaId(1), 5));
+        assert!(inj.view(RaId(1), 5).rejoining);
+        assert!(!inj.view(RaId(1), 6).rejoining);
+        assert_eq!(inj.down_ras(3), vec![RaId(1)]);
+    }
+
+    #[test]
+    fn degradation_scales_one_domain() {
+        let plan = FaultPlan::scripted(
+            1,
+            6,
+            vec![FaultEvent::CapacityDegradation {
+                ra: RaId(0),
+                domain: ResourceKind::Transport,
+                start_round: 1,
+                rounds: 2,
+                factor: 0.5,
+            }],
+        )
+        .unwrap();
+        let inj = FaultInjector::new(plan);
+        assert_eq!(inj.view(RaId(0), 0).capacity_scale, [1.0; 3]);
+        assert_eq!(inj.view(RaId(0), 1).capacity_scale, [1.0, 0.5, 1.0]);
+        assert_eq!(inj.view(RaId(0), 2).capacity_scale, [1.0, 0.5, 1.0]);
+        assert_eq!(inj.view(RaId(0), 3).capacity_scale, [1.0; 3]);
+    }
+
+    #[test]
+    fn out_of_horizon_queries_are_healthy() {
+        let inj = FaultInjector::none(2, 4);
+        assert!(inj.view(RaId(0), 99).is_healthy());
+        assert!(inj.view(RaId(9), 0).is_healthy());
+    }
+
+    proptest::proptest! {
+        /// Same seed ⇒ bit-for-bit identical plan *and* identical compiled
+        /// per-(RA, round) views, for arbitrary seeds and system sizes.
+        #[test]
+        fn same_seed_reproduces_the_fault_stream(
+            seed in 0u64..u64::MAX,
+            n_ras in 1usize..6,
+            horizon in 1usize..40,
+        ) {
+            let cfg = FaultConfig::stress(n_ras, horizon, seed);
+            let a = FaultPlan::generate(&cfg);
+            let b = FaultPlan::generate(&cfg);
+            proptest::prop_assert_eq!(&a, &b);
+            let ia = FaultInjector::new(a);
+            let ib = FaultInjector::new(b);
+            for round in 0..horizon {
+                for j in 0..n_ras {
+                    proptest::prop_assert_eq!(
+                        ia.view(RaId(j), round),
+                        ib.view(RaId(j), round)
+                    );
+                }
+            }
+        }
+    }
+}

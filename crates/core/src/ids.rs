@@ -37,8 +37,11 @@ pub enum ResourceKind {
 
 impl ResourceKind {
     /// All kinds in canonical order (matching action-vector layout).
-    pub const ALL: [ResourceKind; 3] =
-        [ResourceKind::Radio, ResourceKind::Transport, ResourceKind::Computing];
+    pub const ALL: [ResourceKind; 3] = [
+        ResourceKind::Radio,
+        ResourceKind::Transport,
+        ResourceKind::Computing,
+    ];
 
     /// Number of resource kinds.
     pub const COUNT: usize = 3;

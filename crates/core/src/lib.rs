@@ -42,7 +42,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod admission;
 mod agent;
@@ -50,6 +50,8 @@ mod baseline;
 mod checkpoint;
 mod coordinator;
 mod env;
+mod error;
+mod faults;
 mod ids;
 mod managers;
 mod monitor;
@@ -59,17 +61,17 @@ mod perf;
 mod reward;
 mod sla;
 
-pub use admission::{
-    AdmissionController, DemandEstimate, RejectReason, SliceRequest,
-};
+pub use admission::{AdmissionController, DemandEstimate, RejectReason, SliceRequest};
 pub use agent::{AgentBackend, AgentConfig, OrchestrationAgent};
-pub use checkpoint::{CheckpointError, FrozenPolicy, PolicyCheckpoint};
 pub use baseline::Taro;
+pub use checkpoint::{CheckpointError, FrozenPolicy, PolicyCheckpoint};
 pub use coordinator::{CoordinationInfo, PerformanceCoordinator};
 pub use env::{RaEnvConfig, RaSliceEnv, ServiceModel, StateSpec};
+pub use error::EdgeSliceError;
+pub use faults::{FaultConfig, FaultEvent, FaultInjector, FaultPlan, RaFaultView};
 pub use ids::{RaId, ResourceKind, SliceId};
 pub use managers::{ManagerError, ResourceManagers, SliceAllocation};
-pub use monitor::{MonitorRecord, SystemMonitor};
+pub use monitor::{IntervalStatus, MonitorRecord, SystemMonitor};
 pub use orchestrator::{
     project_action_per_resource, EdgeSliceSystem, OrchestratorKind, RoundRecord, RunReport,
     SystemConfig, TrafficKind,

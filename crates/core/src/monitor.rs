@@ -11,6 +11,21 @@ use serde::{Deserialize, Serialize};
 
 use crate::{RaId, SliceId};
 
+/// Whether a monitored (RA, interval) actually served traffic.
+///
+/// Outages are recorded as explicit rows rather than absent ones so that
+/// downstream accounting can distinguish "the RA was dark" from "the RA
+/// served and achieved zero" — absent rows silently bias SLA statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IntervalStatus {
+    /// The RA served traffic and reported over the VR interface.
+    Served,
+    /// The RA was dark: no traffic served, nothing reported. The row's
+    /// `performance`/`queue`/`shares` are zero placeholders and are
+    /// excluded from performance and SLA aggregation.
+    Outage,
+}
+
 /// One monitored interval for one (slice, RA).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MonitorRecord {
@@ -28,6 +43,24 @@ pub struct MonitorRecord {
     pub performance: f64,
     /// Applied shares `[radio, transport, compute]`.
     pub shares: [f64; 3],
+    /// Whether the interval was served or lost to an outage.
+    pub status: IntervalStatus,
+}
+
+impl MonitorRecord {
+    /// An explicit outage placeholder for one (slice, RA, interval).
+    pub fn outage(round: usize, interval: usize, ra: RaId, slice: SliceId) -> Self {
+        Self {
+            round,
+            interval,
+            ra,
+            slice,
+            queue: 0.0,
+            performance: 0.0,
+            shares: [0.0; 3],
+            status: IntervalStatus::Outage,
+        }
+    }
 }
 
 /// The monitor database.
@@ -78,14 +111,9 @@ impl SystemMonitor {
 
     /// RC-M query: `Σ_t U_{i,j}` for one round, indexed `[slice][ra]` —
     /// exactly what the coordinator's update consumes.
-    pub fn round_performance(
-        &self,
-        round: usize,
-        n_slices: usize,
-        n_ras: usize,
-    ) -> Vec<Vec<f64>> {
+    pub fn round_performance(&self, round: usize, n_slices: usize, n_ras: usize) -> Vec<Vec<f64>> {
         let mut out = vec![vec![0.0; n_ras]; n_slices];
-        for r in self.records.iter().filter(|r| r.round == round) {
+        for r in self.served_in_round(round) {
             if r.slice.0 < n_slices && r.ra.0 < n_ras {
                 out[r.slice.0][r.ra.0] += r.performance;
             }
@@ -93,21 +121,52 @@ impl SystemMonitor {
         out
     }
 
-    /// Total system performance of a round: `Σ_{i,j,t} U`.
+    /// Total system performance of a round: `Σ_{i,j,t} U` over served
+    /// intervals (outage placeholders are excluded).
     pub fn round_system_performance(&self, round: usize) -> f64 {
+        self.served_in_round(round).map(|r| r.performance).sum()
+    }
+
+    /// Served (non-outage) records of one round.
+    fn served_in_round(&self, round: usize) -> impl Iterator<Item = &MonitorRecord> {
         self.records
             .iter()
-            .filter(|r| r.round == round)
-            .map(|r| r.performance)
-            .sum()
+            .filter(move |r| r.round == round && r.status == IntervalStatus::Served)
+    }
+
+    /// Intervals RA `ra` lost to outages in `round` (counted once per
+    /// interval, not per slice).
+    pub fn round_outage_intervals(&self, round: usize, ra: RaId) -> usize {
+        let mut intervals: Vec<usize> = self
+            .records
+            .iter()
+            .filter(|r| r.round == round && r.ra == ra && r.status == IntervalStatus::Outage)
+            .map(|r| r.interval)
+            .collect();
+        intervals.sort_unstable();
+        intervals.dedup();
+        intervals.len()
+    }
+
+    /// Fraction of this round's (RA, interval) pairs that actually served
+    /// traffic — the factor SLA targets are prorated by under outages.
+    pub fn round_served_fraction(&self, round: usize, n_ras: usize, period: usize) -> f64 {
+        let total = (n_ras * period) as f64;
+        if total == 0.0 {
+            return 1.0;
+        }
+        let lost: usize = (0..n_ras)
+            .map(|j| self.round_outage_intervals(round, RaId(j)))
+            .sum();
+        ((total - lost as f64) / total).clamp(0.0, 1.0)
     }
 
     /// Mean per-resource usage of a slice in a round, `[radio, transport,
-    /// compute]`, averaged over intervals and RAs.
+    /// compute]`, averaged over served intervals and RAs.
     pub fn round_usage(&self, round: usize, slice: SliceId) -> [f64; 3] {
         let mut sums = [0.0; 3];
         let mut n = 0usize;
-        for r in self.records.iter().filter(|r| r.round == round && r.slice == slice) {
+        for r in self.served_in_round(round).filter(|r| r.slice == slice) {
             for (s, v) in sums.iter_mut().zip(r.shares) {
                 *s += v;
             }
@@ -188,6 +247,7 @@ mod tests {
             queue: 1.0,
             performance: perf,
             shares: [0.5, 0.3, 0.2],
+            status: IntervalStatus::Served,
         }
     }
 
@@ -254,5 +314,27 @@ mod tests {
         assert_eq!(m.rounds(), 0);
         m.record(rec(2, 0, 0, 0.0));
         assert_eq!(m.rounds(), 3);
+    }
+
+    #[test]
+    fn outage_rows_are_explicit_but_excluded_from_aggregates() {
+        let mut m = SystemMonitor::new();
+        m.record(rec(0, 0, 0, -2.0));
+        m.record(MonitorRecord::outage(0, 0, RaId(1), SliceId(0)));
+        m.record(MonitorRecord::outage(0, 1, RaId(1), SliceId(0)));
+        // The rows exist...
+        assert_eq!(m.records().len(), 3);
+        // ...but carry no performance weight and don't dilute usage.
+        assert_eq!(m.round_system_performance(0), -2.0);
+        assert_eq!(m.round_performance(0, 1, 2)[0][1], 0.0);
+        let u = m.round_usage(0, SliceId(0));
+        assert!(
+            (u[0] - 0.5).abs() < 1e-12,
+            "outage rows must not dilute usage means"
+        );
+        assert_eq!(m.round_outage_intervals(0, RaId(1)), 2);
+        assert_eq!(m.round_outage_intervals(0, RaId(0)), 0);
+        // 2 RAs × 2 intervals, 2 lost ⇒ half served.
+        assert!((m.round_served_fraction(0, 2, 2) - 0.5).abs() < 1e-12);
     }
 }

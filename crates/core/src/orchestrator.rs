@@ -18,9 +18,10 @@ use edgeslice_netsim::{
 };
 
 use crate::{
-    AgentConfig, CoordinationInfo, MonitorRecord, OrchestrationAgent, PerformanceCoordinator,
-    PerformanceFunction, QueuePenalty, RaEnvConfig, RaId, RaSliceEnv, RewardParams, Sla,
-    SliceId, SliceSpec, StateSpec, SystemMonitor,
+    AgentConfig, CoordinationInfo, EdgeSliceError, FaultInjector, FrozenPolicy, MonitorRecord,
+    OrchestrationAgent, PerformanceCoordinator, PerformanceFunction, PolicyCheckpoint,
+    QueuePenalty, RaEnvConfig, RaId, RaSliceEnv, RewardParams, Sla, SliceId, SliceSpec, StateSpec,
+    SystemMonitor,
 };
 
 /// Traffic model shared by every (slice, RA) pair.
@@ -78,7 +79,10 @@ impl SystemConfig {
     /// `Umin = −50`, `ρ = 1`, `β = 20`.
     pub fn prototype() -> Self {
         Self {
-            slices: vec![SliceSpec::experiment_slice1(), SliceSpec::experiment_slice2()],
+            slices: vec![
+                SliceSpec::experiment_slice1(),
+                SliceSpec::experiment_slice2(),
+            ],
             n_ras: 2,
             reward: RewardParams::paper(),
             state_spec: StateSpec::Full,
@@ -108,7 +112,10 @@ impl SystemConfig {
         Self {
             slices,
             n_ras,
-            reward: RewardParams { period: 24, ..RewardParams::paper() },
+            reward: RewardParams {
+                period: 24,
+                ..RewardParams::paper()
+            },
             state_spec: StateSpec::Full,
             admm: AdmmConfig::default(),
             traffic: TrafficKind::Diurnal { base: 12.0 },
@@ -130,9 +137,7 @@ impl SystemConfig {
             .map(|_| -> Box<dyn TrafficSource + Send> {
                 match self.traffic {
                     TrafficKind::Poisson(rate) => Box::new(PoissonTraffic::new(rate)),
-                    TrafficKind::Diurnal { base } => {
-                        Box::new(DiurnalTrace::random_area(base, rng))
-                    }
+                    TrafficKind::Diurnal { base } => Box::new(DiurnalTrace::random_area(base, rng)),
                 }
             })
             .collect()
@@ -179,8 +184,15 @@ pub struct RoundRecord {
     pub usage: Vec<[f64; 3]>,
     /// ADMM residuals after the coordinator update.
     pub residuals: AdmmResiduals,
-    /// Whether each slice's SLA held this round.
+    /// Whether each slice's SLA held this round. Under outages the target
+    /// is prorated by `served_fraction` — dark intervals are excluded from
+    /// SLA accounting rather than counted as zero-performance service.
     pub sla_met: Vec<bool>,
+    /// RAs that were dark this round.
+    pub outages: Vec<RaId>,
+    /// Fraction of this round's (RA, interval) pairs that served traffic
+    /// (`1.0` in a fault-free round).
+    pub served_fraction: f64,
 }
 
 /// The full run's outcome.
@@ -200,10 +212,10 @@ impl RunReport {
     ///
     /// # Errors
     ///
-    /// Returns the serializer's message on failure (practically
-    /// impossible).
-    pub fn to_json(&self) -> Result<String, String> {
-        serde_json::to_string_pretty(self).map_err(|e| e.to_string())
+    /// Returns [`EdgeSliceError::Serialization`] on failure (practically
+    /// impossible for this structure).
+    pub fn to_json(&self) -> Result<String, EdgeSliceError> {
+        serde_json::to_string_pretty(self).map_err(EdgeSliceError::from)
     }
 
     /// Mean system performance over the last `n` rounds (a stabler
@@ -249,9 +261,7 @@ impl EdgeSliceSystem {
         let envs: Vec<RaSliceEnv> = (0..config.n_ras).map(|_| config.make_env(rng)).collect();
         let agents = match kind {
             OrchestratorKind::Learned(technique) => (0..config.n_ras)
-                .map(|j| {
-                    OrchestrationAgent::new(RaId(j), technique, &envs[j], agent_config, rng)
-                })
+                .map(|j| OrchestrationAgent::new(RaId(j), technique, &envs[j], agent_config, rng))
                 .collect(),
             OrchestratorKind::Taro => Vec::new(),
         };
@@ -346,7 +356,10 @@ impl EdgeSliceSystem {
     ///
     /// Panics on a TARO system.
     pub fn agent0(&self) -> OrchestrationAgent {
-        self.agents.first().expect("learned system has agents").clone()
+        self.agents
+            .first()
+            .expect("learned system has agents")
+            .clone()
     }
 
     /// A mutable handle to RA 0's environment (used to train an agent that
@@ -359,10 +372,49 @@ impl EdgeSliceSystem {
         &mut self.envs[0]
     }
 
+    /// Sets the coordinator's staleness budget: missed rounds tolerated
+    /// before an RA is declared dead (default 3).
+    pub fn set_staleness_budget(&mut self, rounds: usize) {
+        self.coordinator.set_staleness_budget(rounds);
+    }
+
     /// Runs Alg. 1 for at most `max_rounds` coordination rounds (stopping
     /// early on ADMM convergence) and reports per-round outcomes.
-    #[allow(clippy::needless_range_loop)] // `j` indexes envs, agents and achieved in lockstep
     pub fn run(&mut self, max_rounds: usize, rng: &mut StdRng) -> RunReport {
+        let injector = FaultInjector::none(self.config.n_ras, max_rounds);
+        self.run_with_faults(max_rounds, rng, &injector)
+    }
+
+    /// Runs Alg. 1 under injected faults (Alg. 1 + the degradation policy).
+    ///
+    /// The injector's rounds index this run's rounds, 0-based. Per round,
+    /// for each RA the orchestrator consults its [`crate::RaFaultView`]:
+    ///
+    /// * **down** — the RA serves nothing; the monitor records explicit
+    ///   outage rows; the coordinator sees the RA as missing (stale reuse,
+    ///   frozen duals, death + redistribution past the staleness budget).
+    ///   At outage start a learned RA's policy is checkpointed.
+    /// * **rejoining** — the RA's queues are flushed (the node rebooted)
+    ///   and, for learned kinds, its policy is restored from the
+    ///   checkpoint taken at outage start — decisions after rejoin are
+    ///   bit-identical to the pre-outage policy.
+    /// * **broadcast dropped** — the RA orchestrates on its previous
+    ///   `z − y` (the env keeps the last coordination it received).
+    /// * **straggler** — traffic is served and monitored, but the report
+    ///   misses the deadline: the coordinator treats the RA as missing
+    ///   this round (the late report is superseded by the next one).
+    /// * **capacity degradation** — the RA's substrate capacity is scaled
+    ///   for the round; the agent's shares deliver proportionally less.
+    ///
+    /// SLA accounting excludes outage intervals: each round's `Umin` is
+    /// prorated by the fraction of (RA, interval) pairs that served.
+    #[allow(clippy::needless_range_loop)] // `j` indexes envs, agents and achieved in lockstep
+    pub fn run_with_faults(
+        &mut self,
+        max_rounds: usize,
+        rng: &mut StdRng,
+        injector: &FaultInjector,
+    ) -> RunReport {
         let n_slices = self.config.slices.len();
         let n_ras = self.config.n_ras;
         let period = self.config.reward.period;
@@ -371,16 +423,70 @@ impl EdgeSliceSystem {
         }
         let mut report = RunReport::default();
         let start_round = self.monitor.rounds();
+        // Per-RA checkpoints taken at outage start and the frozen policies
+        // restored from them at rejoin (learned kinds only).
+        let mut checkpoints: Vec<Option<PolicyCheckpoint>> = vec![None; n_ras];
+        let mut restored: Vec<Option<FrozenPolicy>> = vec![None; n_ras];
+        let mut was_down = vec![false; n_ras];
         for round_off in 0..max_rounds {
             let round = start_round + round_off;
             let info: CoordinationInfo = self.coordinator.coordination_info();
             let mut achieved = vec![vec![0.0; n_ras]; n_slices];
+            let mut present = vec![true; n_ras];
+            let mut outages = Vec::new();
             for j in 0..n_ras {
+                let view = injector.view(RaId(j), round_off);
+                if view.down {
+                    // Outage start: snapshot the policy the RA will be
+                    // re-deployed from when it rejoins.
+                    if !was_down[j] {
+                        if let OrchestratorKind::Learned(_) = self.kind {
+                            if checkpoints[j].is_none() {
+                                checkpoints[j] =
+                                    Some(PolicyCheckpoint::from_agent(&self.agents[j]));
+                            }
+                        }
+                    }
+                    was_down[j] = true;
+                    present[j] = false;
+                    outages.push(RaId(j));
+                    for t in 0..period {
+                        for i in 0..n_slices {
+                            self.monitor.record(MonitorRecord::outage(
+                                round,
+                                t,
+                                RaId(j),
+                                SliceId(i),
+                            ));
+                        }
+                    }
+                    continue;
+                }
+                if view.rejoining || was_down[j] {
+                    // The node rebooted: backlog is gone, and the policy is
+                    // re-deployed from the outage-start checkpoint.
+                    self.envs[j].clear_queues();
+                    if let Some(ckpt) = checkpoints[j].take() {
+                        restored[j] = Some(ckpt.into_frozen_policy(RaId(j)));
+                    }
+                    was_down[j] = false;
+                }
                 let env = &mut self.envs[j];
-                env.set_coordination(&info.for_ra(RaId(j)));
+                env.set_capacity_scale(view.capacity_scale);
+                if !view.broadcast_dropped {
+                    env.set_coordination(&info.for_ra(RaId(j)));
+                }
+                if view.straggler {
+                    // Served but reported late: the coordinator treats the
+                    // RA as missing this round.
+                    present[j] = false;
+                }
                 for t in 0..period {
                     let mut action = match self.kind {
-                        OrchestratorKind::Learned(_) => self.agents[j].decide(&env.observe()),
+                        OrchestratorKind::Learned(_) => match &restored[j] {
+                            Some(policy) => policy.decide(&env.observe()),
+                            None => self.agents[j].decide(&env.observe()),
+                        },
                         OrchestratorKind::Taro => self.taro.action(&env.queue_lengths()),
                     };
                     if self.config.project_actions {
@@ -398,21 +504,25 @@ impl EdgeSliceSystem {
                             queue: env.queue_lengths()[i],
                             performance: perf[i],
                             shares: shares[i].as_array(),
+                            status: crate::IntervalStatus::Served,
                         });
                     }
                 }
             }
-            let residuals = self.coordinator.update(&achieved);
-            let slice_performance: Vec<f64> =
-                achieved.iter().map(|row| row.iter().sum()).collect();
+            let residuals = self.coordinator.update_partial(&achieved, &present);
+            let slice_performance: Vec<f64> = achieved.iter().map(|row| row.iter().sum()).collect();
+            // Dark intervals are excluded from SLA accounting: the target
+            // shrinks with the fraction of (RA, interval) pairs served.
+            let served_fraction = self.monitor.round_served_fraction(round, n_ras, period);
             let sla_met: Vec<bool> = self
                 .config
                 .slices
                 .iter()
-                .map(|s| slice_performance[s.id.0] >= s.sla.umin - 1e-9)
+                .map(|s| slice_performance[s.id.0] >= s.sla.umin * served_fraction - 1e-9)
                 .collect();
-            let usage: Vec<[f64; 3]> =
-                (0..n_slices).map(|i| self.monitor.round_usage(round, SliceId(i))).collect();
+            let usage: Vec<[f64; 3]> = (0..n_slices)
+                .map(|i| self.monitor.round_usage(round, SliceId(i)))
+                .collect();
             report.rounds.push(RoundRecord {
                 round,
                 system_performance: slice_performance.iter().sum(),
@@ -420,10 +530,16 @@ impl EdgeSliceSystem {
                 usage,
                 residuals,
                 sla_met,
+                outages,
+                served_fraction,
             });
             if self.coordinator.converged() {
                 break;
             }
+        }
+        // Leave the substrates healthy for subsequent runs.
+        for env in &mut self.envs {
+            env.set_capacity_scale([1.0; 3]);
         }
         report
     }
@@ -473,8 +589,12 @@ mod tests {
     fn taro_system_runs_and_reports() {
         let mut rng = StdRng::seed_from_u64(0);
         let config = SystemConfig::prototype();
-        let mut sys =
-            EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), &mut rng);
+        let mut sys = EdgeSliceSystem::new(
+            config,
+            OrchestratorKind::Taro,
+            &AgentConfig::default(),
+            &mut rng,
+        );
         let report = sys.run(3, &mut rng);
         assert!(!report.rounds.is_empty());
         let r0 = &report.rounds[0];

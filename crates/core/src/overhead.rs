@@ -49,7 +49,10 @@ impl OverheadModel {
     /// actions and rewards never leave the RA.
     pub fn edgeslice_round(&self) -> RoundTraffic {
         let per_ra = self.n_slices * SCALAR;
-        RoundTraffic { downlink: per_ra * self.n_ras, uplink: per_ra * self.n_ras }
+        RoundTraffic {
+            downlink: per_ra * self.n_ras,
+            uplink: per_ra * self.n_ras,
+        }
     }
 
     /// A centralized learner: every interval, each RA ships its full local
@@ -76,7 +79,12 @@ mod tests {
     use super::*;
 
     fn model() -> OverheadModel {
-        OverheadModel { n_slices: 5, n_ras: 10, n_resources: 3, period: 24 }
+        OverheadModel {
+            n_slices: 5,
+            n_ras: 10,
+            n_resources: 3,
+            period: 24,
+        }
     }
 
     #[test]
@@ -104,8 +112,16 @@ mod tests {
 
     #[test]
     fn reduction_grows_with_period_length() {
-        let short = OverheadModel { period: 10, ..model() }.reduction_factor();
-        let long = OverheadModel { period: 100, ..model() }.reduction_factor();
+        let short = OverheadModel {
+            period: 10,
+            ..model()
+        }
+        .reduction_factor();
+        let long = OverheadModel {
+            period: 100,
+            ..model()
+        }
+        .reduction_factor();
         assert!(long > short);
     }
 }

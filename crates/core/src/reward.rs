@@ -32,7 +32,11 @@ pub struct RewardParams {
 impl RewardParams {
     /// The paper's experimental parameters: `ρ = 1`, `β = 20`, `T = 10`.
     pub fn paper() -> Self {
-        Self { rho: 1.0, beta: 20.0, period: 10 }
+        Self {
+            rho: 1.0,
+            beta: 20.0,
+            period: 10,
+        }
     }
 }
 
@@ -55,8 +59,16 @@ pub fn reward(
     resource_sums: &[f64],
     capacity: &[f64],
 ) -> f64 {
-    assert_eq!(performance.len(), coordination.len(), "slice count mismatch");
-    assert_eq!(resource_sums.len(), capacity.len(), "resource count mismatch");
+    assert_eq!(
+        performance.len(),
+        coordination.len(),
+        "slice count mismatch"
+    );
+    assert_eq!(
+        resource_sums.len(),
+        capacity.len(),
+        "resource count mismatch"
+    );
     let t = params.period.max(1) as f64;
     let mut r = 0.0;
     for (&u, &zy) in performance.iter().zip(coordination) {
@@ -74,7 +86,11 @@ mod tests {
     use super::*;
 
     fn p() -> RewardParams {
-        RewardParams { rho: 1.0, beta: 20.0, period: 10 }
+        RewardParams {
+            rho: 1.0,
+            beta: 20.0,
+            period: 10,
+        }
     }
 
     #[test]

@@ -28,8 +28,11 @@ pub enum FrameResolution {
 
 impl FrameResolution {
     /// All resolutions offered by the prototype app.
-    pub const ALL: [FrameResolution; 3] =
-        [FrameResolution::R100, FrameResolution::R300, FrameResolution::R500];
+    pub const ALL: [FrameResolution; 3] = [
+        FrameResolution::R100,
+        FrameResolution::R300,
+        FrameResolution::R500,
+    ];
 
     /// Pixels per side.
     pub fn side(self) -> u32 {
@@ -61,8 +64,11 @@ pub enum ComputationModel {
 
 impl ComputationModel {
     /// All computation models offered by the prototype app.
-    pub const ALL: [ComputationModel; 3] =
-        [ComputationModel::Yolo320, ComputationModel::Yolo416, ComputationModel::Yolo608];
+    pub const ALL: [ComputationModel; 3] = [
+        ComputationModel::Yolo320,
+        ComputationModel::Yolo416,
+        ComputationModel::Yolo608,
+    ];
 
     /// Network input side in pixels.
     pub fn input_side(self) -> u32 {

@@ -29,7 +29,10 @@ impl Kernel {
     /// Panics if `threads == 0` or `gflops` is negative.
     pub fn new(threads: u32, gflops: f64) -> Self {
         assert!(threads > 0, "a kernel needs at least one thread");
-        assert!(gflops >= 0.0 && gflops.is_finite(), "invalid workload {gflops}");
+        assert!(
+            gflops >= 0.0 && gflops.is_finite(),
+            "invalid workload {gflops}"
+        );
         Self { threads, gflops }
     }
 }
@@ -52,10 +55,16 @@ pub fn split_kernel(kernel: Kernel, max_threads: u32) -> Vec<Kernel> {
     let per_thread_work = kernel.gflops / kernel.threads as f64;
     let mut out = Vec::with_capacity(full_chunks as usize + usize::from(tail > 0));
     for _ in 0..full_chunks {
-        out.push(Kernel { threads: max_threads, gflops: per_thread_work * max_threads as f64 });
+        out.push(Kernel {
+            threads: max_threads,
+            gflops: per_thread_work * max_threads as f64,
+        });
     }
     if tail > 0 {
-        out.push(Kernel { threads: tail, gflops: per_thread_work * tail as f64 });
+        out.push(Kernel {
+            threads: tail,
+            gflops: per_thread_work * tail as f64,
+        });
     }
     out
 }
@@ -179,7 +188,9 @@ impl Gpu {
             let mut capacity = rate * dt;
             let mut completed = 0.0;
             while capacity > 0.0 {
-                let Some(front) = queue.first_mut() else { break };
+                let Some(front) = queue.first_mut() else {
+                    break;
+                };
                 // In-order execution: the running kernel's threads are the
                 // tenant's occupancy — checked against the budget in effect
                 // *now*.

@@ -32,7 +32,11 @@ pub struct RaCapacities {
 impl RaCapacities {
     /// The prototype: 18 Mb/s cell, 80 Mb/s link, 8000 GFLOPs/s GPU.
     pub fn prototype() -> Self {
-        Self { radio_mbps: 18.0, transport_mbps: 80.0, compute_gflops_s: 8_000.0 }
+        Self {
+            radio_mbps: 18.0,
+            transport_mbps: 80.0,
+            compute_gflops_s: 8_000.0,
+        }
     }
 
     /// Service time of one `app` task under fractional shares
@@ -77,7 +81,10 @@ impl GridDataset {
         capacities: RaCapacities,
         granularity: f64,
     ) -> Self {
-        assert!(granularity > 0.0 && granularity <= 1.0, "bad granularity {granularity}");
+        assert!(
+            granularity > 0.0 && granularity <= 1.0,
+            "bad granularity {granularity}"
+        );
         let axis = (1.0 / granularity).round() as usize + 1;
         let mut times = Vec::with_capacity(axis * axis * axis);
         for r in 0..axis {
@@ -92,7 +99,13 @@ impl GridDataset {
                 }
             }
         }
-        Self { app, capacities, granularity, axis, times }
+        Self {
+            app,
+            capacities,
+            granularity,
+            axis,
+            times,
+        }
     }
 
     /// Number of grid points.
@@ -200,7 +213,10 @@ mod tests {
         // The grid stores `i * granularity`, which differs from the literal
         // share by at most one ulp.
         let stored = d.lookup(shares).unwrap();
-        assert!((stored - direct).abs() < 1e-12, "stored {stored} direct {direct}");
+        assert!(
+            (stored - direct).abs() < 1e-12,
+            "stored {stored} direct {direct}"
+        );
     }
 
     #[test]

@@ -59,3 +59,4 @@ pub use ra::{DomainShares, ResourceAutonomy, SliceRates};
 pub use traffic::{
     sample_poisson, BlockRandomPoisson, CsvTrace, DiurnalTrace, PoissonTraffic, TrafficSource,
 };
+pub use transport::ReconfigMode;

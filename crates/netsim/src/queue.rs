@@ -40,7 +40,10 @@ impl ServiceQueue {
     /// Panics if `capacity` is not positive.
     pub fn with_capacity(capacity: f64) -> Self {
         assert!(capacity > 0.0, "queue capacity must be positive");
-        Self { capacity: Some(capacity), ..Self::new() }
+        Self {
+            capacity: Some(capacity),
+            ..Self::new()
+        }
     }
 
     /// Current backlog in tasks (the paper's `l`).
@@ -69,7 +72,10 @@ impl ServiceQueue {
     ///
     /// Panics if `tasks` is negative or non-finite.
     pub fn arrive(&mut self, tasks: f64) -> f64 {
-        assert!(tasks.is_finite() && tasks >= 0.0, "invalid arrival count {tasks}");
+        assert!(
+            tasks.is_finite() && tasks >= 0.0,
+            "invalid arrival count {tasks}"
+        );
         let accepted = match self.capacity {
             Some(cap) => tasks.min((cap - self.backlog).max(0.0)),
             None => tasks,
@@ -87,7 +93,10 @@ impl ServiceQueue {
     ///
     /// Panics if `capacity` is negative or non-finite.
     pub fn serve(&mut self, capacity: f64) -> f64 {
-        assert!(capacity.is_finite() && capacity >= 0.0, "invalid service capacity {capacity}");
+        assert!(
+            capacity.is_finite() && capacity >= 0.0,
+            "invalid service capacity {capacity}"
+        );
         let served = capacity.min(self.backlog);
         self.backlog -= served;
         self.total_served += served;
@@ -172,10 +181,14 @@ mod tests {
         let mut x = 1u64;
         for _ in 0..1000 {
             // Cheap deterministic pseudo-random walk.
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let a = (x >> 33) as f64 / 4e9;
             q.arrive(a * 10.0);
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = (x >> 33) as f64 / 4e9;
             q.serve(s * 10.0);
         }

@@ -63,6 +63,10 @@ pub struct ResourceAutonomy {
     /// Per-slice representative users.
     users: Vec<RaUser>,
     reconfig_mode: ReconfigMode,
+    /// Per-domain capacity multipliers `[radio, transport, compute]`,
+    /// `1.0` when healthy — fault injection shrinks a domain's `R^{tot}`
+    /// by lowering its entry (interference, co-tenancy, partial failure).
+    capacity_scale: [f64; 3],
 }
 
 /// A slice's representative user within an RA.
@@ -78,7 +82,11 @@ impl ResourceAutonomy {
     /// eNodeB, a 6-switch 80 Mb/s transport path, and a 51200-thread GPU —
     /// then attaches one user per slice.
     pub fn prototype(ra_index: usize, n_slices: usize) -> Self {
-        let band = if ra_index.is_multiple_of(2) { LteBand::Band7 } else { LteBand::Band38 };
+        let band = if ra_index.is_multiple_of(2) {
+            LteBand::Band7
+        } else {
+            LteBand::Band38
+        };
         Self::new(
             EnodeB::prototype(band),
             SdnController::prototype(),
@@ -103,7 +111,10 @@ impl ResourceAutonomy {
         let mut users = Vec::with_capacity(n_slices);
         for s in 0..n_slices {
             let imsi = Imsi(310_170_000_000_000 + (ra_index as u64) * 1_000 + s as u64);
-            let ue = UserEquipment { imsi, band: enodeb.band() };
+            let ue = UserEquipment {
+                imsi,
+                band: enodeb.band(),
+            };
             let msg = enodeb.attach(ue).expect("band matches by construction");
             let learned = extract_imsi(&msg).expect("attach carries IMSI");
             enodeb.associate(learned, s);
@@ -111,9 +122,21 @@ impl ResourceAutonomy {
                 src: IpAddr([10, ra_index as u8, 0, s as u8 + 1]),
                 dst: IpAddr([192, 168, ra_index as u8, 10]),
             };
-            users.push(RaUser { imsi, flow, tenant: TenantId(s as u32) });
+            users.push(RaUser {
+                imsi,
+                flow,
+                tenant: TenantId(s as u32),
+            });
         }
-        Self { enodeb, transport, gpu, link_mbps, users, reconfig_mode: ReconfigMode::MakeBeforeBreak }
+        Self {
+            enodeb,
+            transport,
+            gpu,
+            link_mbps,
+            users,
+            reconfig_mode: ReconfigMode::MakeBeforeBreak,
+            capacity_scale: [1.0; 3],
+        }
     }
 
     /// Number of slices served in this RA.
@@ -147,6 +170,38 @@ impl ResourceAutonomy {
         self.reconfig_mode = mode;
     }
 
+    /// Sets the transport controller's per-switch meter delete–create
+    /// interval, seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or non-finite.
+    pub fn set_reconfig_interval_s(&mut self, seconds: f64) {
+        self.transport.set_deletion_creation_interval_s(seconds);
+    }
+
+    /// Scales each domain's total capacity by the given multipliers
+    /// `[radio, transport, compute]` (fault injection: a degraded domain's
+    /// `R^{tot}` shrinks; `[1.0; 3]` restores full capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless every multiplier is finite and in `(0, 1]`.
+    pub fn set_capacity_scale(&mut self, scale: [f64; 3]) {
+        for s in scale {
+            assert!(
+                s.is_finite() && s > 0.0 && s <= 1.0,
+                "capacity scale {s} not in (0, 1]"
+            );
+        }
+        self.capacity_scale = scale;
+    }
+
+    /// The per-domain capacity multipliers in effect.
+    pub fn capacity_scale(&self) -> [f64; 3] {
+        self.capacity_scale
+    }
+
     /// Applies an orchestration action: per-slice domain shares. Configures
     /// the PRB scheduler, rewrites the transport meters, resizes the GPU
     /// budgets, and returns the resulting per-slice rates.
@@ -160,21 +215,24 @@ impl ResourceAutonomy {
     /// Panics if `shares.len() != n_slices()`.
     pub fn apply(&mut self, shares: &[DomainShares]) -> Vec<SliceRates> {
         assert_eq!(shares.len(), self.users.len(), "one share triple per slice");
+        // A degraded domain delivers `scale · R^tot`; a share `x` of the
+        // degraded capacity equals a share `x · scale` of the nominal one.
+        let [radio_scale, transport_scale, compute_scale] = self.capacity_scale;
         // Radio: pass fractions to the slice-aware scheduler.
-        let radio_shares: Vec<f64> = shares.iter().map(|s| s.radio).collect();
+        let radio_shares: Vec<f64> = shares.iter().map(|s| s.radio * radio_scale).collect();
         let schedule = self.enodeb.schedule(&radio_shares);
         // Transport: one meter per slice flow.
         for (user, share) in self.users.iter().zip(shares) {
             self.transport.set_bandwidth(
                 user.flow,
-                share.transport * self.link_mbps,
+                share.transport * self.link_mbps * transport_scale,
                 self.reconfig_mode,
             );
         }
         // Compute: budgets in threads.
         let total_threads = self.gpu.total_threads();
         for (user, share) in self.users.iter().zip(shares) {
-            let threads = (share.compute * total_threads as f64) as u32;
+            let threads = (share.compute * total_threads as f64 * compute_scale) as u32;
             self.gpu.set_budget(user.tenant, threads);
         }
         self.users
@@ -211,7 +269,10 @@ impl ResourceAutonomy {
     pub fn submit_task(&mut self, slice: usize, app: &AppProfile) {
         let user = self.users[slice];
         // A YOLO inference launches one big kernel; the manager splits it.
-        self.gpu.submit(user.tenant, Kernel::new(self.gpu.total_threads(), app.compute_gflops()));
+        self.gpu.submit(
+            user.tenant,
+            Kernel::new(self.gpu.total_threads(), app.compute_gflops()),
+        );
     }
 
     /// Advances the GPU timeline (see [`Gpu::advance`]).
@@ -268,13 +329,25 @@ mod tests {
     fn service_times_reflect_app_asymmetry() {
         let mut ra = ResourceAutonomy::prototype(0, 2);
         let apps = [AppProfile::traffic_heavy(), AppProfile::compute_heavy()];
-        let even = [DomainShares::new(0.5, 0.5, 0.5), DomainShares::new(0.5, 0.5, 0.5)];
+        let even = [
+            DomainShares::new(0.5, 0.5, 0.5),
+            DomainShares::new(0.5, 0.5, 0.5),
+        ];
         let t_even = ra.service_times(&even, &apps);
         // Give slice 1 the network and slice 2 the GPU: both should speed up.
-        let matched = [DomainShares::new(0.8, 0.8, 0.2), DomainShares::new(0.2, 0.2, 0.8)];
+        let matched = [
+            DomainShares::new(0.8, 0.8, 0.2),
+            DomainShares::new(0.2, 0.2, 0.8),
+        ];
         let t_matched = ra.service_times(&matched, &apps);
-        assert!(t_matched[0] < t_even[0], "traffic-heavy slice should gain from network");
-        assert!(t_matched[1] < t_even[1], "compute-heavy slice should gain from GPU");
+        assert!(
+            t_matched[0] < t_even[0],
+            "traffic-heavy slice should gain from network"
+        );
+        assert!(
+            t_matched[1] < t_even[1],
+            "compute-heavy slice should gain from GPU"
+        );
     }
 
     #[test]
@@ -282,7 +355,10 @@ mod tests {
         let mut ra = ResourceAutonomy::prototype(0, 2);
         let apps = [AppProfile::traffic_heavy(), AppProfile::compute_heavy()];
         let t = ra.service_times(
-            &[DomainShares::new(1.0, 1.0, 1.0), DomainShares::new(0.0, 0.0, 0.0)],
+            &[
+                DomainShares::new(1.0, 1.0, 1.0),
+                DomainShares::new(0.0, 0.0, 0.0),
+            ],
             &apps,
         );
         assert!(t[0].is_finite());
@@ -290,9 +366,38 @@ mod tests {
     }
 
     #[test]
+    fn capacity_degradation_scales_rates_and_restores() {
+        let mut ra = ResourceAutonomy::prototype(0, 2);
+        let shares = [
+            DomainShares::new(0.5, 0.5, 0.5),
+            DomainShares::new(0.5, 0.5, 0.5),
+        ];
+        let healthy = ra.apply(&shares);
+        ra.set_capacity_scale([1.0, 0.5, 0.5]);
+        let degraded = ra.apply(&shares);
+        assert!((degraded[0].transport_mbps - healthy[0].transport_mbps * 0.5).abs() < 1e-9);
+        assert!(degraded[0].compute_gflops_s < healthy[0].compute_gflops_s);
+        assert_eq!(degraded[0].radio_mbps, healthy[0].radio_mbps);
+        ra.set_capacity_scale([1.0; 3]);
+        let restored = ra.apply(&shares);
+        assert_eq!(restored[0].transport_mbps, healthy[0].transport_mbps);
+        assert_eq!(restored[0].compute_gflops_s, healthy[0].compute_gflops_s);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity scale")]
+    fn zero_capacity_scale_is_rejected() {
+        let mut ra = ResourceAutonomy::prototype(0, 1);
+        ra.set_capacity_scale([0.0, 1.0, 1.0]);
+    }
+
+    #[test]
     fn kernel_split_isolation_holds_under_load() {
         let mut ra = ResourceAutonomy::prototype(0, 2);
-        ra.apply(&[DomainShares::new(0.5, 0.5, 0.3), DomainShares::new(0.5, 0.5, 0.7)]);
+        ra.apply(&[
+            DomainShares::new(0.5, 0.5, 0.3),
+            DomainShares::new(0.5, 0.5, 0.7),
+        ]);
         let apps = [AppProfile::traffic_heavy(), AppProfile::compute_heavy()];
         for _ in 0..5 {
             ra.submit_task(0, &apps[0]);

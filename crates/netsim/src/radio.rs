@@ -99,8 +99,8 @@ impl Cqi {
     /// (QPSK 0.1523 … 64-QAM 5.5547).
     pub fn spectral_efficiency(self) -> f64 {
         const TABLE: [f64; 15] = [
-            0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305,
-            3.3223, 3.9023, 4.5234, 5.1152, 5.5547,
+            0.1523, 0.2344, 0.3770, 0.6016, 0.8770, 1.1758, 1.4766, 1.9141, 2.4063, 2.7305, 3.3223,
+            3.9023, 4.5234, 5.1152, 5.5547,
         ];
         TABLE[(self.0 - 1) as usize]
     }
@@ -263,7 +263,9 @@ impl EnodeB {
         // slice absorb the division remainder).
         let mut slice_user_idx = vec![0u32; slice_shares.len()];
         for ue in &self.attached {
-            let Some(&s) = self.associations.get(&ue.imsi) else { continue };
+            let Some(&s) = self.associations.get(&ue.imsi) else {
+                continue;
+            };
             if s >= slice_prbs.len() || slice_prbs[s] == 0 || users_per_slice[s] == 0 {
                 continue; // zero-resource users are not scheduled
             }
@@ -274,7 +276,13 @@ impl EnodeB {
             if share == 0 {
                 continue;
             }
-            assignments.insert(ue.imsi, PrbAssignment { start: next_prb, count: share });
+            assignments.insert(
+                ue.imsi,
+                PrbAssignment {
+                    start: next_prb,
+                    count: share,
+                },
+            );
             next_prb += share;
         }
         let rate_factors = assignments
@@ -334,8 +342,11 @@ impl ScheduleOutcome {
         if self.prbs_used() > self.total_prbs {
             return false;
         }
-        let mut spans: Vec<(u32, u32)> =
-            self.assignments.values().map(|a| (a.start, a.start + a.count)).collect();
+        let mut spans: Vec<(u32, u32)> = self
+            .assignments
+            .values()
+            .map(|a| (a.start, a.start + a.count))
+            .collect();
         spans.sort_unstable();
         spans.windows(2).all(|w| w[0].1 <= w[1].0)
     }
@@ -350,7 +361,10 @@ mod tests {
         let mut next = 1000;
         for s in 0..n_slices {
             for _ in 0..users_per_slice {
-                let ue = UserEquipment { imsi: Imsi(next), band: LteBand::Band7 };
+                let ue = UserEquipment {
+                    imsi: Imsi(next),
+                    band: LteBand::Band7,
+                };
                 let msg = enb.attach(ue).expect("band matches");
                 let imsi = extract_imsi(&msg).expect("attach carries IMSI");
                 enb.associate(imsi, s);
@@ -363,7 +377,10 @@ mod tests {
     #[test]
     fn attach_rejects_wrong_band() {
         let mut enb = EnodeB::prototype(LteBand::Band7);
-        let ue = UserEquipment { imsi: Imsi(1), band: LteBand::Band38 };
+        let ue = UserEquipment {
+            imsi: Imsi(1),
+            band: LteBand::Band38,
+        };
         assert!(enb.attach(ue).is_none());
         assert!(enb.attached_users().is_empty());
     }
@@ -371,7 +388,10 @@ mod tests {
     #[test]
     fn imsi_extraction_from_s1ap() {
         assert_eq!(
-            extract_imsi(&S1apMessage::InitialUeMessage { enb_ue_id: 0, imsi: Imsi(42) }),
+            extract_imsi(&S1apMessage::InitialUeMessage {
+                enb_ue_id: 0,
+                imsi: Imsi(42)
+            }),
             Some(Imsi(42))
         );
         assert_eq!(extract_imsi(&S1apMessage::Other), None);
@@ -401,8 +421,10 @@ mod tests {
         let enb = enb_with_users(2, 2);
         let out = enb.schedule(&[0.5, 0.5]);
         assert!(out.check_invariants());
-        let mut spans: Vec<(u32, u32)> =
-            out.scheduled_users().map(|(_, a)| (a.start, a.count)).collect();
+        let mut spans: Vec<(u32, u32)> = out
+            .scheduled_users()
+            .map(|(_, a)| (a.start, a.count))
+            .collect();
         spans.sort_unstable();
         // Users are packed back-to-back from PRB 0.
         let mut expected_start = 0;
@@ -448,7 +470,10 @@ mod tests {
         let degraded = enb.schedule(&[1.0]).user_rate_mbps(Imsi(1000));
         let expected = full * Cqi::new(7).rate_factor();
         assert!((degraded - expected).abs() < 1e-9);
-        assert!(degraded < full * 0.3, "CQI 7 is roughly a quarter of peak MCS");
+        assert!(
+            degraded < full * 0.3,
+            "CQI 7 is roughly a quarter of peak MCS"
+        );
     }
 
     #[test]
@@ -472,7 +497,10 @@ mod tests {
     #[test]
     fn unassociated_user_is_ignored() {
         let mut enb = EnodeB::prototype(LteBand::Band7);
-        enb.attach(UserEquipment { imsi: Imsi(5), band: LteBand::Band7 });
+        enb.attach(UserEquipment {
+            imsi: Imsi(5),
+            band: LteBand::Band7,
+        });
         let out = enb.schedule(&[1.0]);
         assert!(out.assignment(Imsi(5)).is_none());
     }

@@ -75,7 +75,9 @@ pub struct Topology {
 impl Topology {
     /// Creates a topology with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Self { adjacency: vec![Vec::new(); n] }
+        Self {
+            adjacency: vec![Vec::new(); n],
+        }
     }
 
     /// The prototype chain: 6 switches in a line, 80 Mb/s per hop
@@ -236,9 +238,7 @@ impl Topology {
     /// Releases `mbps` along `path`.
     pub fn release(&mut self, path: &[NodeId], mbps: f64) {
         for w in path.windows(2) {
-            if let Some(link) =
-                self.adjacency[w[0].0].iter_mut().find(|l| l.to == w[1].0)
-            {
+            if let Some(link) = self.adjacency[w[0].0].iter_mut().find(|l| l.to == w[1].0) {
                 link.reserved_mbps = (link.reserved_mbps - mbps).max(0.0);
             }
         }
@@ -283,10 +283,14 @@ mod tests {
     fn dijkstra_prefers_lighter_route() {
         // 0 → 1 → 3 (weight 2) vs 0 → 2 → 3 (weight 1.5).
         let mut t = Topology::new(4);
-        t.add_bidirectional(NodeId(0), NodeId(1), 1.0, 100.0).unwrap();
-        t.add_bidirectional(NodeId(1), NodeId(3), 1.0, 100.0).unwrap();
-        t.add_bidirectional(NodeId(0), NodeId(2), 0.5, 100.0).unwrap();
-        t.add_bidirectional(NodeId(2), NodeId(3), 1.0, 100.0).unwrap();
+        t.add_bidirectional(NodeId(0), NodeId(1), 1.0, 100.0)
+            .unwrap();
+        t.add_bidirectional(NodeId(1), NodeId(3), 1.0, 100.0)
+            .unwrap();
+        t.add_bidirectional(NodeId(0), NodeId(2), 0.5, 100.0)
+            .unwrap();
+        t.add_bidirectional(NodeId(2), NodeId(3), 1.0, 100.0)
+            .unwrap();
         let p = t.shortest_path(NodeId(0), NodeId(3)).unwrap();
         assert_eq!(p, vec![NodeId(0), NodeId(2), NodeId(3)]);
     }

@@ -60,7 +60,10 @@ impl PoissonTraffic {
     ///
     /// Panics if `rate` is negative or non-finite.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate >= 0.0, "invalid Poisson rate {rate}");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "invalid Poisson rate {rate}"
+        );
         Self { rate }
     }
 
@@ -111,7 +114,10 @@ impl DiurnalTrace {
                 peak_rate * Self::shape(t)
             })
             .collect();
-        Self { hourly, jitter: jitter.max(0.0) }
+        Self {
+            hourly,
+            jitter: jitter.max(0.0),
+        }
     }
 
     /// Synthesizes a randomized area profile, the per-area diversity used in
@@ -181,7 +187,12 @@ impl BlockRandomPoisson {
     pub fn new(lo: f64, hi: f64, block: usize, seed: u64) -> Self {
         assert!(lo >= 0.0 && hi >= lo, "invalid rate range [{lo}, {hi}]");
         assert!(block > 0, "block must be positive");
-        Self { lo, hi, block, seed }
+        Self {
+            lo,
+            hi,
+            block,
+            seed,
+        }
     }
 
     /// The rate in effect for `interval`.
@@ -238,7 +249,10 @@ impl CsvTrace {
                 .and_then(|s| s.trim().parse().ok())
                 .ok_or_else(|| format!("line {}: bad arrival count", lineno + 1))?;
             if !val.is_finite() || val < 0.0 {
-                return Err(format!("line {}: negative or non-finite arrivals", lineno + 1));
+                return Err(format!(
+                    "line {}: negative or non-finite arrivals",
+                    lineno + 1
+                ));
             }
             rows.push((idx, val));
         }
@@ -246,7 +260,9 @@ impl CsvTrace {
             return Err("trace contains no data rows".to_string());
         }
         rows.sort_by_key(|&(i, _)| i);
-        Ok(Self { values: rows.into_iter().map(|(_, v)| v).collect() })
+        Ok(Self {
+            values: rows.into_iter().map(|(_, v)| v).collect(),
+        })
     }
 
     /// Loads a trace from a CSV file (see [`CsvTrace::parse`] for the
@@ -294,7 +310,10 @@ mod tests {
             let n = 20_000;
             let total: f64 = (0..n).map(|_| sample_poisson(mean, &mut rng) as f64).sum();
             let emp = total / n as f64;
-            assert!((emp - mean).abs() < mean.max(1.0) * 0.05, "mean {mean}: got {emp}");
+            assert!(
+                (emp - mean).abs() < mean.max(1.0) * 0.05,
+                "mean {mean}: got {emp}"
+            );
         }
     }
 
@@ -313,9 +332,15 @@ mod tests {
         let night = means[3];
         let midday = means[13];
         let evening = means[20];
-        assert!(night < midday && midday < evening, "night {night} midday {midday} evening {evening}");
+        assert!(
+            night < midday && midday < evening,
+            "night {night} midday {midday} evening {evening}"
+        );
         let max = means.iter().cloned().fold(f64::MIN, f64::max);
-        assert!((max - evening).abs() < 1e-9, "evening should be the daily peak");
+        assert!(
+            (max - evening).abs() < 1e-9,
+            "evening should be the daily peak"
+        );
     }
 
     #[test]
@@ -379,9 +404,13 @@ mod tests {
     #[test]
     fn csv_trace_loads_from_file() {
         let path = std::env::temp_dir().join("edgeslice_trace_test.csv");
-        std::fs::write(&path, "0,3.5
+        std::fs::write(
+            &path,
+            "0,3.5
 1,4.5
-").unwrap();
+",
+        )
+        .unwrap();
         let t = CsvTrace::from_file(&path).unwrap();
         assert_eq!(t.len(), 2);
         assert_eq!(t.mean_rate(1), 4.5);

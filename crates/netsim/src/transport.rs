@@ -177,6 +177,25 @@ impl SdnController {
         self.outage_seconds
     }
 
+    /// The per-switch meter delete–create interval in effect, seconds.
+    pub fn deletion_creation_interval_s(&self) -> f64 {
+        self.deletion_creation_interval_s
+    }
+
+    /// Reconfigures the modeled per-switch delete–create interval (e.g. to
+    /// study slower control planes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is negative or non-finite.
+    pub fn set_deletion_creation_interval_s(&mut self, seconds: f64) {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "invalid interval {seconds}"
+        );
+        self.deletion_creation_interval_s = seconds;
+    }
+
     /// Sets `flow`'s bandwidth to `rate_mbps` along the whole path.
     ///
     /// With [`ReconfigMode::BreakBeforeMake`] the old meters are removed
@@ -189,7 +208,10 @@ impl SdnController {
     ///
     /// Panics if `rate_mbps` is negative or non-finite.
     pub fn set_bandwidth(&mut self, flow: FlowMatch, rate_mbps: f64, mode: ReconfigMode) {
-        assert!(rate_mbps.is_finite() && rate_mbps >= 0.0, "invalid rate {rate_mbps}");
+        assert!(
+            rate_mbps.is_finite() && rate_mbps >= 0.0,
+            "invalid rate {rate_mbps}"
+        );
         let old = self.active.remove(&flow);
         match mode {
             ReconfigMode::BreakBeforeMake => {
@@ -226,8 +248,11 @@ impl SdnController {
             let id = MeterId(self.next_meter);
             self.next_meter += 1;
             sw.install_meter(Meter { id, rate_mbps });
-            sw.install_flow(FlowEntry { matcher: flow, meter: id })
-                .expect("meter installed just above");
+            sw.install_flow(FlowEntry {
+                matcher: flow,
+                meter: id,
+            })
+            .expect("meter installed just above");
             ids.push(id);
         }
         ids
@@ -236,8 +261,11 @@ impl SdnController {
     /// End-to-end rate for `flow`: the minimum meter rate along the path
     /// (0 during an outage).
     pub fn path_rate_mbps(&self, flow: FlowMatch) -> f64 {
-        let bottleneck =
-            self.switches.iter().map(|sw| sw.rate_for(flow)).fold(f64::INFINITY, f64::min);
+        let bottleneck = self
+            .switches
+            .iter()
+            .map(|sw| sw.rate_for(flow))
+            .fold(f64::INFINITY, f64::min);
         if bottleneck.is_finite() {
             bottleneck
         } else {
@@ -251,30 +279,55 @@ mod tests {
     use super::*;
 
     fn flow() -> FlowMatch {
-        FlowMatch { src: IpAddr([10, 0, 0, 1]), dst: IpAddr([192, 168, 1, 10]) }
+        FlowMatch {
+            src: IpAddr([10, 0, 0, 1]),
+            dst: IpAddr([192, 168, 1, 10]),
+        }
     }
 
     #[test]
     fn switch_meters_flows_and_rates() {
         let mut sw = Switch::new();
-        sw.install_meter(Meter { id: MeterId(1), rate_mbps: 40.0 });
-        sw.install_flow(FlowEntry { matcher: flow(), meter: MeterId(1) }).unwrap();
+        sw.install_meter(Meter {
+            id: MeterId(1),
+            rate_mbps: 40.0,
+        });
+        sw.install_flow(FlowEntry {
+            matcher: flow(),
+            meter: MeterId(1),
+        })
+        .unwrap();
         assert_eq!(sw.rate_for(flow()), 40.0);
-        let other = FlowMatch { src: IpAddr([10, 0, 0, 2]), dst: IpAddr([192, 168, 1, 10]) };
+        let other = FlowMatch {
+            src: IpAddr([10, 0, 0, 2]),
+            dst: IpAddr([192, 168, 1, 10]),
+        };
         assert_eq!(sw.rate_for(other), 0.0);
     }
 
     #[test]
     fn flow_install_requires_meter() {
         let mut sw = Switch::new();
-        assert!(sw.install_flow(FlowEntry { matcher: flow(), meter: MeterId(9) }).is_err());
+        assert!(sw
+            .install_flow(FlowEntry {
+                matcher: flow(),
+                meter: MeterId(9)
+            })
+            .is_err());
     }
 
     #[test]
     fn meter_delete_cascades_to_flows() {
         let mut sw = Switch::new();
-        sw.install_meter(Meter { id: MeterId(1), rate_mbps: 40.0 });
-        sw.install_flow(FlowEntry { matcher: flow(), meter: MeterId(1) }).unwrap();
+        sw.install_meter(Meter {
+            id: MeterId(1),
+            rate_mbps: 40.0,
+        });
+        sw.install_flow(FlowEntry {
+            matcher: flow(),
+            meter: MeterId(1),
+        })
+        .unwrap();
         sw.remove_meter(MeterId(1));
         assert_eq!(sw.flow_count(), 0);
         assert_eq!(sw.rate_for(flow()), 0.0);
@@ -296,7 +349,11 @@ mod tests {
     fn break_before_make_accrues_outage() {
         let mut ctl = SdnController::prototype();
         ctl.set_bandwidth(flow(), 40.0, ReconfigMode::BreakBeforeMake);
-        assert_eq!(ctl.outage_seconds(), 0.0, "first install has nothing to delete");
+        assert_eq!(
+            ctl.outage_seconds(),
+            0.0,
+            "first install has nothing to delete"
+        );
         ctl.set_bandwidth(flow(), 20.0, ReconfigMode::BreakBeforeMake);
         // 6 switches × 50 ms.
         assert!((ctl.outage_seconds() - 0.3).abs() < 1e-12);
@@ -325,7 +382,11 @@ mod tests {
         let mid = &mut ctl.switches[1];
         let id = MeterId(999);
         mid.install_meter(Meter { id, rate_mbps: 5.0 });
-        mid.install_flow(FlowEntry { matcher: f, meter: id }).unwrap();
+        mid.install_flow(FlowEntry {
+            matcher: f,
+            meter: id,
+        })
+        .unwrap();
         assert_eq!(ctl.path_rate_mbps(f), 5.0);
     }
 
@@ -333,7 +394,10 @@ mod tests {
     fn two_slices_get_independent_rates() {
         let mut ctl = SdnController::prototype();
         let f1 = flow();
-        let f2 = FlowMatch { src: IpAddr([10, 0, 0, 2]), dst: IpAddr([192, 168, 1, 10]) };
+        let f2 = FlowMatch {
+            src: IpAddr([10, 0, 0, 2]),
+            dst: IpAddr([192, 168, 1, 10]),
+        };
         ctl.set_bandwidth(f1, 60.0, ReconfigMode::MakeBeforeBreak);
         ctl.set_bandwidth(f2, 20.0, ReconfigMode::MakeBeforeBreak);
         assert_eq!(ctl.path_rate_mbps(f1), 60.0);

@@ -18,7 +18,10 @@ fn repeated_reconfiguration_keeps_all_invariants() {
             DomainShares::new(0.8 - 0.6 * phase, 0.5, 0.2 + 0.6 * phase),
         ];
         let times = ra.service_times(&shares, &apps);
-        assert!(times.iter().all(|t| t.is_finite() && *t > 0.0), "step {step}: {times:?}");
+        assert!(
+            times.iter().all(|t| t.is_finite() && *t > 0.0),
+            "step {step}: {times:?}"
+        );
         ra.submit_task(0, &apps[0]);
         ra.submit_task(1, &apps[1]);
         ra.advance_gpu(0.2);
@@ -38,7 +41,10 @@ fn break_before_make_accumulates_outage_at_every_reconfig() {
     let apps = [AppProfile::traffic_heavy(), AppProfile::compute_heavy()];
     for _ in 0..3 {
         ra.service_times(
-            &[DomainShares::new(0.5, 0.5, 0.5), DomainShares::new(0.5, 0.5, 0.5)],
+            &[
+                DomainShares::new(0.5, 0.5, 0.5),
+                DomainShares::new(0.5, 0.5, 0.5),
+            ],
             &apps,
         );
     }

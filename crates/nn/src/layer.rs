@@ -141,7 +141,13 @@ impl Dense {
         let db = dz.sum_rows();
         // dX = dZ W  → (batch × out)(out × in) = batch × in
         let dx = dz.matmul(&self.weights);
-        (DenseGrad { weights: dw, bias: db }, dx)
+        (
+            DenseGrad {
+                weights: dw,
+                bias: db,
+            },
+            dx,
+        )
     }
 
     /// `self ← (1 - tau) * self + tau * source` (Polyak/soft target update).
@@ -150,7 +156,11 @@ impl Dense {
     ///
     /// Panics if the shapes differ.
     pub fn soft_update_from(&mut self, source: &Dense, tau: f64) {
-        assert_eq!(self.weights.shape(), source.weights.shape(), "soft update shape mismatch");
+        assert_eq!(
+            self.weights.shape(),
+            source.weights.shape(),
+            "soft update shape mismatch"
+        );
         self.weights.scale(1.0 - tau);
         self.weights.axpy(tau, &source.weights);
         for (b, s) in self.bias.iter_mut().zip(&source.bias) {

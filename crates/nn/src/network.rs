@@ -58,7 +58,9 @@ pub struct Gradients {
 impl Gradients {
     /// A zero gradient shaped like `net`.
     pub fn zeros_like(net: &Mlp) -> Self {
-        Self { layers: net.layers.iter().map(DenseGrad::zeros_like).collect() }
+        Self {
+            layers: net.layers.iter().map(DenseGrad::zeros_like).collect(),
+        }
     }
 
     /// `self += alpha * other`.
@@ -77,7 +79,11 @@ impl Gradients {
 
     /// Global (whole-network) L2 norm.
     pub fn global_norm(&self) -> f64 {
-        self.layers.iter().map(DenseGrad::norm_sq).sum::<f64>().sqrt()
+        self.layers
+            .iter()
+            .map(DenseGrad::norm_sq)
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Rescales so the global norm does not exceed `max_norm`.
@@ -99,13 +105,11 @@ impl Mlp {
     /// # Panics
     ///
     /// Panics if `dims.len() < 2`.
-    pub fn new(
-        dims: &[usize],
-        hidden: Activation,
-        output: Activation,
-        rng: &mut impl Rng,
-    ) -> Self {
-        assert!(dims.len() >= 2, "an Mlp needs at least an input and output width");
+    pub fn new(dims: &[usize], hidden: Activation, output: Activation, rng: &mut impl Rng) -> Self {
+        assert!(
+            dims.len() >= 2,
+            "an Mlp needs at least an input and output width"
+        );
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for w in dims.windows(2) {
             let last = layers.len() == dims.len() - 2;
@@ -113,7 +117,11 @@ impl Mlp {
             // He init matches (leaky-)ReLU hidden layers; the small-uniform
             // final layer keeps initial outputs near the activation midpoint,
             // the standard DDPG initialization.
-            let init = if last { Init::Uniform(3e-3) } else { Init::HeUniform };
+            let init = if last {
+                Init::Uniform(3e-3)
+            } else {
+                Init::HeUniform
+            };
             layers.push(Dense::new(w[0], w[1], act, init, rng));
         }
         Self { layers }
@@ -158,7 +166,10 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("Mlp has at least one layer").out_dim()
+        self.layers
+            .last()
+            .expect("Mlp has at least one layer")
+            .out_dim()
     }
 
     /// Total number of scalar parameters.
@@ -197,7 +208,11 @@ impl Mlp {
             pre.push(z);
             h = out;
         }
-        ForwardCache { inputs, pre, output: h }
+        ForwardCache {
+            inputs,
+            pre,
+            output: h,
+        }
     }
 
     /// Backpropagates `d_output = ∂L/∂output` through the cached pass.
@@ -213,7 +228,10 @@ impl Mlp {
             grads[idx] = Some(g);
             d = dx;
         }
-        let layers = grads.into_iter().map(|g| g.expect("every layer visited")).collect();
+        let layers = grads
+            .into_iter()
+            .map(|g| g.expect("every layer visited"))
+            .collect();
         (Gradients { layers }, d)
     }
 
@@ -235,11 +253,17 @@ impl Mlp {
     ///
     /// Panics if `params.len() != param_count()`.
     pub fn set_flat_params(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.param_count(), "flat parameter length mismatch");
+        assert_eq!(
+            params.len(),
+            self.param_count(),
+            "flat parameter length mismatch"
+        );
         let mut off = 0;
         for l in &mut self.layers {
             let wlen = l.weights().rows() * l.weights().cols();
-            l.weights_mut().as_mut_slice().copy_from_slice(&params[off..off + wlen]);
+            l.weights_mut()
+                .as_mut_slice()
+                .copy_from_slice(&params[off..off + wlen]);
             off += wlen;
             let blen = l.bias().len();
             l.bias_mut().copy_from_slice(&params[off..off + blen]);
@@ -265,7 +289,11 @@ impl Mlp {
     ///
     /// Panics if architectures differ.
     pub fn soft_update_from(&mut self, source: &Mlp, tau: f64) {
-        assert_eq!(self.layers.len(), source.layers.len(), "layer count mismatch");
+        assert_eq!(
+            self.layers.len(),
+            source.layers.len(),
+            "layer count mismatch"
+        );
         for (a, b) in self.layers.iter_mut().zip(&source.layers) {
             a.soft_update_from(b, tau);
         }
@@ -280,7 +308,12 @@ mod tests {
 
     fn net() -> Mlp {
         let mut rng = StdRng::seed_from_u64(11);
-        Mlp::new(&[3, 8, 8, 2], Activation::leaky_default(), Activation::Tanh, &mut rng)
+        Mlp::new(
+            &[3, 8, 8, 2],
+            Activation::leaky_default(),
+            Activation::Tanh,
+            &mut rng,
+        )
     }
 
     #[test]
@@ -351,7 +384,12 @@ mod tests {
         let mut a = net();
         let b = {
             let mut rng = StdRng::seed_from_u64(99);
-            Mlp::new(&[3, 8, 8, 2], Activation::leaky_default(), Activation::Tanh, &mut rng)
+            Mlp::new(
+                &[3, 8, 8, 2],
+                Activation::leaky_default(),
+                Activation::Tanh,
+                &mut rng,
+            )
         };
         a.set_flat_params(&b.flat_params());
         assert_eq!(a, b);

@@ -131,7 +131,12 @@ mod tests {
     /// Fits y = sin-like target with a tiny net; loss must drop sharply.
     fn fit_with<F: FnMut(&mut Mlp, &Gradients)>(mut stepper: F) -> (f64, f64) {
         let mut rng = StdRng::seed_from_u64(3);
-        let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let mut net = Mlp::new(
+            &[1, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         let xs = Matrix::from_fn(32, 1, |i, _| i as f64 / 16.0 - 1.0);
         let ys = xs.map(|x| 0.5 * x * x - 0.2 * x);
         let (first, _) = mse_loss(&net.forward(&xs), &ys);
@@ -149,7 +154,12 @@ mod tests {
     #[test]
     fn adam_reduces_regression_loss() {
         let mut rng = StdRng::seed_from_u64(3);
-        let net = Mlp::new(&[1, 16, 1], Activation::Tanh, Activation::Identity, &mut rng);
+        let net = Mlp::new(
+            &[1, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut rng,
+        );
         let mut adam = Adam::new(&net, 1e-2);
         let (first, last) = fit_with(|n, g| adam.step(n, g));
         assert!(last < first * 0.05, "Adam failed to fit: {first} -> {last}");

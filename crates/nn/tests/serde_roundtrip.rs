@@ -16,7 +16,12 @@ fn matrix_json_round_trip() {
 #[test]
 fn mlp_json_round_trip_preserves_policy() {
     let mut rng = StdRng::seed_from_u64(1);
-    let net = Mlp::new(&[3, 16, 2], Activation::leaky_default(), Activation::Sigmoid, &mut rng);
+    let net = Mlp::new(
+        &[3, 16, 2],
+        Activation::leaky_default(),
+        Activation::Sigmoid,
+        &mut rng,
+    );
     let json = serde_json::to_string(&net).unwrap();
     let back: Mlp = serde_json::from_str(&json).unwrap();
     let x = [0.25, -0.5, 0.75];

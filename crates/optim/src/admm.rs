@@ -25,7 +25,12 @@ pub struct AdmmConfig {
 
 impl Default for AdmmConfig {
     fn default() -> Self {
-        Self { rho: 1.0, primal_tol: 1e-3, dual_tol: 1e-3, max_rounds: 200 }
+        Self {
+            rho: 1.0,
+            primal_tol: 1e-3,
+            dual_tol: 1e-3,
+            max_rounds: 200,
+        }
     }
 }
 
@@ -165,16 +170,28 @@ mod tests {
 
     #[test]
     fn tracker_stops_on_convergence_or_cap() {
-        let config = AdmmConfig { max_rounds: 3, ..Default::default() };
+        let config = AdmmConfig {
+            max_rounds: 3,
+            ..Default::default()
+        };
         let mut t = ConvergenceTracker::new();
-        t.record(AdmmResiduals { primal: 1.0, dual: 1.0 });
+        t.record(AdmmResiduals {
+            primal: 1.0,
+            dual: 1.0,
+        });
         assert!(!t.should_stop(&config));
-        t.record(AdmmResiduals { primal: 1e-9, dual: 1e-9 });
+        t.record(AdmmResiduals {
+            primal: 1e-9,
+            dual: 1e-9,
+        });
         assert!(t.should_stop(&config));
 
         let mut t2 = ConvergenceTracker::new();
         for _ in 0..3 {
-            t2.record(AdmmResiduals { primal: 1.0, dual: 1.0 });
+            t2.record(AdmmResiduals {
+                primal: 1.0,
+                dual: 1.0,
+            });
         }
         assert!(t2.should_stop(&config), "round cap must stop the loop");
     }
@@ -184,7 +201,10 @@ mod tests {
         // Toy instance of the paper's decomposition with an "agent" that
         // produces u = argmax {-(ρ/2)(u - (z-y))² + u} = (z - y) + 1/ρ,
         // capped at 2.5 per RA (real slice performance is bounded too).
-        let config = AdmmConfig { rho: 1.0, ..Default::default() };
+        let config = AdmmConfig {
+            rho: 1.0,
+            ..Default::default()
+        };
         let umin = 4.0;
         let cap = 2.5;
         let mut z = vec![0.0, 0.0];
@@ -206,7 +226,13 @@ mod tests {
             }
         }
         let last_u: f64 = z.iter().sum();
-        assert!(last_u >= umin - 1e-6, "consensus must satisfy the SLA, got {last_u}");
-        assert!(tracker.rounds() < config.max_rounds, "should converge before the cap");
+        assert!(
+            last_u >= umin - 1e-6,
+            "consensus must satisfy the SLA, got {last_u}"
+        );
+        assert!(
+            tracker.rounds() < config.max_rounds,
+            "should converge before the cap"
+        );
     }
 }

@@ -70,9 +70,7 @@ mod tests {
     fn solves_dense_spd_system() {
         // A = [[4,1],[1,3]], b = [1,2] → x = [1/11, 7/11]
         let a = [4.0, 1.0, 1.0, 3.0];
-        let matvec = |v: &[f64]| {
-            vec![a[0] * v[0] + a[1] * v[1], a[2] * v[0] + a[3] * v[1]]
-        };
+        let matvec = |v: &[f64]| vec![a[0] * v[0] + a[1] * v[1], a[2] * v[0] + a[3] * v[1]];
         let x = conjugate_gradient(matvec, &[1.0, 2.0], 10, 1e-12);
         assert!((x[0] - 1.0 / 11.0).abs() < 1e-9);
         assert!((x[1] - 7.0 / 11.0).abs() < 1e-9);

@@ -32,10 +32,16 @@ impl fmt::Display for OptimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptimError::DimensionMismatch { expected, found } => {
-                write!(f, "dimension mismatch: expected {expected} elements, found {found}")
+                write!(
+                    f,
+                    "dimension mismatch: expected {expected} elements, found {found}"
+                )
             }
             OptimError::NotPositiveDefinite { pivot, value } => {
-                write!(f, "matrix is not positive definite (pivot {pivot} = {value})")
+                write!(
+                    f,
+                    "matrix is not positive definite (pivot {pivot} = {value})"
+                )
             }
             OptimError::Singular { column } => {
                 write!(f, "matrix is singular at column {column}")
@@ -52,9 +58,15 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = OptimError::DimensionMismatch { expected: 4, found: 3 };
+        let e = OptimError::DimensionMismatch {
+            expected: 4,
+            found: 3,
+        };
         assert!(e.to_string().contains("expected 4"));
-        let e = OptimError::NotPositiveDefinite { pivot: 1, value: -0.5 };
+        let e = OptimError::NotPositiveDefinite {
+            pivot: 1,
+            value: -0.5,
+        };
         assert!(e.to_string().contains("positive definite"));
         let e = OptimError::Singular { column: 2 };
         assert!(e.to_string().contains("singular"));

@@ -36,14 +36,11 @@ mod linreg;
 mod qp;
 mod solve;
 
-pub use admm::{
-    augmented_penalty, dual_update, AdmmConfig, AdmmResiduals, ConvergenceTracker,
-};
+pub use admm::{augmented_penalty, dual_update, AdmmConfig, AdmmResiduals, ConvergenceTracker};
 pub use cg::conjugate_gradient;
 pub use error::OptimError;
 pub use linreg::LinearModel;
 pub use qp::{
-    clamp_box, project_capacity, project_sum_halfspace, solve_projection_qp, QpConfig,
-    QpSolution,
+    clamp_box, project_capacity, project_sum_halfspace, solve_projection_qp, QpConfig, QpSolution,
 };
 pub use solve::{solve_general, solve_spd};

@@ -29,16 +29,22 @@ impl LinearModel {
     /// degenerate designs.
     pub fn fit(xs: &[Vec<f64>], ys: &[f64], lambda: f64) -> Result<Self, OptimError> {
         if xs.is_empty() || xs.len() != ys.len() {
-            return Err(OptimError::DimensionMismatch { expected: ys.len(), found: xs.len() });
+            return Err(OptimError::DimensionMismatch {
+                expected: ys.len(),
+                found: xs.len(),
+            });
         }
         let d = xs[0].len();
         let n = d + 1; // + intercept column
-        // Normal equations: (XᵀX + λI') w = Xᵀy with augmented X = [x, 1].
+                       // Normal equations: (XᵀX + λI') w = Xᵀy with augmented X = [x, 1].
         let mut ata = vec![0.0f64; n * n];
         let mut atb = vec![0.0f64; n];
         for (x, &y) in xs.iter().zip(ys) {
             if x.len() != d {
-                return Err(OptimError::DimensionMismatch { expected: d, found: x.len() });
+                return Err(OptimError::DimensionMismatch {
+                    expected: d,
+                    found: x.len(),
+                });
             }
             for i in 0..n {
                 let xi = if i < d { x[i] } else { 1.0 };
@@ -55,7 +61,10 @@ impl LinearModel {
         }
         ata[d * n + d] += 1e-9;
         let sol = solve_spd(&ata, &atb)?;
-        Ok(Self { weights: sol[..d].to_vec(), intercept: sol[d] })
+        Ok(Self {
+            weights: sol[..d].to_vec(),
+            intercept: sol[d],
+        })
     }
 
     /// The fitted weight vector.
@@ -74,7 +83,11 @@ impl LinearModel {
     ///
     /// Panics if `x.len()` differs from the training dimensionality.
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.weights.len(), "prediction dimensionality mismatch");
+        assert_eq!(
+            x.len(),
+            self.weights.len(),
+            "prediction dimensionality mismatch"
+        );
         self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() + self.intercept
     }
 
@@ -131,7 +144,11 @@ mod tests {
     fn interpolates_between_grid_neighbours() {
         // Mimic the paper's use: predict service time between two adjacent
         // 10%-granularity grid actions.
-        let xs = vec![vec![0.1, 0.3, 0.2], vec![0.1, 0.4, 0.2], vec![0.2, 0.3, 0.2]];
+        let xs = vec![
+            vec![0.1, 0.3, 0.2],
+            vec![0.1, 0.4, 0.2],
+            vec![0.2, 0.3, 0.2],
+        ];
         let ys = vec![10.0, 8.0, 9.0];
         let m = LinearModel::fit(&xs, &ys, 1e-6).unwrap();
         let mid = m.predict(&[0.12, 0.38, 0.2]);

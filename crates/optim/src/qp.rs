@@ -46,7 +46,11 @@ pub struct QpConfig {
 
 impl Default for QpConfig {
     fn default() -> Self {
-        Self { step: 0.25, max_iters: 10_000, tol: 1e-10 }
+        Self {
+            step: 0.25,
+            max_iters: 10_000,
+            tol: 1e-10,
+        }
     }
 }
 
@@ -78,8 +82,11 @@ pub fn solve_projection_qp(c: &[f64], bound: f64, config: QpConfig) -> QpSolutio
     for it in 0..config.max_iters {
         iterations = it + 1;
         // ∇ = 2 (z − c); step then re-project onto the feasible set.
-        let mut next: Vec<f64> =
-            z.iter().zip(c).map(|(&zi, &ci)| zi - config.step * 2.0 * (zi - ci)).collect();
+        let mut next: Vec<f64> = z
+            .iter()
+            .zip(c)
+            .map(|(&zi, &ci)| zi - config.step * 2.0 * (zi - ci))
+            .collect();
         next = project_sum_halfspace(&next, bound);
         let delta: f64 = next.iter().zip(&z).map(|(a, b)| (a - b).powi(2)).sum();
         z = next;
@@ -88,7 +95,11 @@ pub fn solve_projection_qp(c: &[f64], bound: f64, config: QpConfig) -> QpSolutio
             break;
         }
     }
-    QpSolution { z, iterations, converged }
+    QpSolution {
+        z,
+        iterations,
+        converged,
+    }
 }
 
 /// Projects `x` onto the box `[lo, hi]^n` element-wise.
@@ -142,7 +153,10 @@ mod tests {
         let c = [-10.0, 2.0, 1.0];
         let z = project_sum_halfspace(&c, 0.0);
         let sum: f64 = z.iter().sum();
-        assert!((sum - 0.0).abs() < 1e-12, "projection should be tight, got {sum}");
+        assert!(
+            (sum - 0.0).abs() < 1e-12,
+            "projection should be tight, got {sum}"
+        );
     }
 
     #[test]
@@ -151,8 +165,7 @@ mod tests {
         let c = [1.0, -3.0, 0.5];
         let bound = 2.0;
         let z = project_sum_halfspace(&c, bound);
-        let dist =
-            |p: &[f64]| p.iter().zip(&c).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
+        let dist = |p: &[f64]| p.iter().zip(&c).map(|(a, b)| (a - b).powi(2)).sum::<f64>();
         let base = dist(&z);
         for k in 0..3 {
             for &eps in &[0.01, -0.01] {

@@ -27,7 +27,10 @@ pub fn solve_spd(a: &[f64], b: &[f64]) -> Result<Vec<f64>, OptimError> {
             }
             if i == j {
                 if sum <= 0.0 {
-                    return Err(OptimError::NotPositiveDefinite { pivot: i, value: sum });
+                    return Err(OptimError::NotPositiveDefinite {
+                        pivot: i,
+                        value: sum,
+                    });
                 }
                 l[i * n + j] = sum.sqrt();
             } else {
@@ -147,7 +150,10 @@ mod tests {
     #[test]
     fn general_detects_singular() {
         let a = [1.0, 2.0, 2.0, 4.0];
-        assert!(matches!(solve_general(&a, &[1.0, 2.0]), Err(OptimError::Singular { .. })));
+        assert!(matches!(
+            solve_general(&a, &[1.0, 2.0]),
+            Err(OptimError::Singular { .. })
+        ));
     }
 
     #[test]

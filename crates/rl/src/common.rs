@@ -31,7 +31,10 @@ impl GaussianPolicy {
     pub fn new(mean: Mlp, initial_log_std: f64) -> Self {
         let dim = mean.out_dim();
         assert!(dim > 0, "policy needs at least one action dimension");
-        Self { mean, log_std: vec![initial_log_std; dim] }
+        Self {
+            mean,
+            log_std: vec![initial_log_std; dim],
+        }
     }
 
     /// The mean network.
@@ -96,7 +99,9 @@ impl GaussianPolicy {
     /// Panics if shapes disagree.
     pub fn log_prob_batch(&self, means: &Matrix, raws: &Matrix) -> Vec<f64> {
         assert_eq!(means.shape(), raws.shape(), "log_prob_batch shape mismatch");
-        (0..means.rows()).map(|i| self.log_prob(means.row(i), raws.row(i))).collect()
+        (0..means.rows())
+            .map(|i| self.log_prob(means.row(i), raws.row(i)))
+            .collect()
     }
 
     /// `∂ log p / ∂ mean` for each sample/dimension: `(a − μ)/σ²`.
@@ -120,7 +125,10 @@ impl GaussianPolicy {
 
     /// Differential entropy of the Gaussian, `Σ_j (log σ_j + ½ log 2πe)`.
     pub fn entropy(&self) -> f64 {
-        self.log_std.iter().map(|ls| ls + 0.5 * (LOG_2PI + 1.0)).sum()
+        self.log_std
+            .iter()
+            .map(|ls| ls + 0.5 * (LOG_2PI + 1.0))
+            .sum()
     }
 
     /// Mean KL divergence `KL(old ‖ self)` over a batch of states, for two
@@ -183,7 +191,11 @@ pub fn gae(
     let mut next_adv = 0.0;
     let mut next_value = last_value;
     for i in (0..n).rev() {
-        let (nv, na) = if dones[i] { (0.0, 0.0) } else { (next_value, next_adv) };
+        let (nv, na) = if dones[i] {
+            (0.0, 0.0)
+        } else {
+            (next_value, next_adv)
+        };
         let delta = rewards[i] + gamma * nv - values[i];
         adv[i] = delta + gamma * lambda * na;
         next_adv = adv[i];
@@ -251,7 +263,11 @@ pub fn collect_rollout<E: Environment + ?Sized>(
         for a in &mut clamped {
             *a = a.clamp(0.0, 1.0);
         }
-        let Step { next_state, reward, done } = env.step(&clamped, rng);
+        let Step {
+            next_state,
+            reward,
+            done,
+        } = env.step(&clamped, rng);
         states.extend_from_slice(&state);
         raw_actions.extend_from_slice(&raw);
         rewards.push(reward);
@@ -277,7 +293,12 @@ mod tests {
 
     fn policy() -> GaussianPolicy {
         let mut rng = StdRng::seed_from_u64(0);
-        let net = Mlp::new(&[2, 8, 2], Activation::leaky_default(), Activation::Sigmoid, &mut rng);
+        let net = Mlp::new(
+            &[2, 8, 2],
+            Activation::leaky_default(),
+            Activation::Sigmoid,
+            &mut rng,
+        );
         GaussianPolicy::new(net, -0.5)
     }
 
@@ -312,9 +333,8 @@ mod tests {
             up[(0, j)] += eps;
             let mut dn = means.clone();
             dn[(0, j)] -= eps;
-            let fd =
-                (p.log_prob(up.row(0), raws.row(0)) - p.log_prob(dn.row(0), raws.row(0)))
-                    / (2.0 * eps);
+            let fd = (p.log_prob(up.row(0), raws.row(0)) - p.log_prob(dn.row(0), raws.row(0)))
+                / (2.0 * eps);
             assert!((fd - grad[(0, j)]).abs() < 1e-5, "dim {j}");
         }
     }
@@ -334,7 +354,11 @@ mod tests {
             let dn = p.log_prob(means.row(0), raws.row(0));
             p.log_std_mut()[j] = orig;
             let fd = (up - dn) / (2.0 * eps);
-            assert!((fd - grad[(0, j)]).abs() < 1e-5, "dim {j}: fd={fd} an={}", grad[(0, j)]);
+            assert!(
+                (fd - grad[(0, j)]).abs() < 1e-5,
+                "dim {j}: fd={fd} an={}",
+                grad[(0, j)]
+            );
         }
     }
 
@@ -410,8 +434,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let mut env = TrackingEnv::new(5);
         let mut rng2 = StdRng::seed_from_u64(0);
-        let net =
-            Mlp::new(&[1, 8, 1], Activation::leaky_default(), Activation::Sigmoid, &mut rng2);
+        let net = Mlp::new(
+            &[1, 8, 1],
+            Activation::leaky_default(),
+            Activation::Sigmoid,
+            &mut rng2,
+        );
         let p = GaussianPolicy::new(net, -1.0);
         let r = collect_rollout(&mut env, &p, 12, &mut rng);
         assert_eq!(r.states.shape(), (12, 1));

@@ -184,7 +184,11 @@ impl Ddpg {
         let next_q = self.target_critic.forward(&next_sa);
         let mut targets = Matrix::zeros(n, 1);
         for i in 0..n {
-            let bootstrap = if batch.dones[i] { 0.0 } else { self.config.gamma * next_q[(i, 0)] };
+            let bootstrap = if batch.dones[i] {
+                0.0
+            } else {
+                self.config.gamma * next_q[(i, 0)]
+            };
             targets[(i, 0)] = batch.rewards[i] + bootstrap;
         }
         let sa = Matrix::hstack(&[&batch.states, &batch.actions]);
@@ -212,11 +216,17 @@ impl Ddpg {
         self.actor_opt.step(&mut self.actor, &actor_grads);
 
         // ---- Soft target updates.
-        self.target_actor.soft_update_from(&self.actor, self.config.tau);
-        self.target_critic.soft_update_from(&self.critic, self.config.tau);
+        self.target_actor
+            .soft_update_from(&self.actor, self.config.tau);
+        self.target_critic
+            .soft_update_from(&self.critic, self.config.tau);
         self.updates += 1;
 
-        Some(DdpgUpdate { critic_loss, actor_objective, noise_sigma: self.noise.sigma() })
+        Some(DdpgUpdate {
+            critic_loss,
+            actor_objective,
+            noise_sigma: self.noise.sigma(),
+        })
     }
 
     /// Convenience training loop: interacts with `env` for `steps`
@@ -235,7 +245,9 @@ impl Ddpg {
             let action = if step < self.config.warmup {
                 // Uniform random warm-up fills the replay memory with
                 // diverse actions before the policy is trusted.
-                (0..env.action_dim()).map(|_| rng.gen_range(0.0..1.0)).collect()
+                (0..env.action_dim())
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
             } else {
                 self.explore(&state, rng)
             };

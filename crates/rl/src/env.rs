@@ -94,7 +94,11 @@ pub(crate) mod test_env {
 
     impl TrackingEnv {
         pub fn new(horizon: usize) -> Self {
-            Self { target: 0.3, steps: 0, horizon }
+            Self {
+                target: 0.3,
+                steps: 0,
+                horizon,
+            }
         }
     }
 
@@ -119,7 +123,11 @@ pub(crate) mod test_env {
             // The target drifts deterministically; state fully reveals it.
             self.target = 0.2 + 0.6 * ((self.target * 7.13).sin() * 0.5 + 0.5);
             self.steps += 1;
-            Step { next_state: vec![self.target], reward, done: self.steps >= self.horizon }
+            Step {
+                next_state: vec![self.target],
+                reward,
+                done: self.steps >= self.horizon,
+            }
         }
     }
 }

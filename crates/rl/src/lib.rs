@@ -71,8 +71,13 @@ pub enum Technique {
 
 impl Technique {
     /// All techniques in the order Fig. 10b plots them.
-    pub const ALL: [Technique; 5] =
-        [Technique::Ddpg, Technique::Sac, Technique::Ppo, Technique::Trpo, Technique::Vpg];
+    pub const ALL: [Technique; 5] = [
+        Technique::Ddpg,
+        Technique::Sac,
+        Technique::Ppo,
+        Technique::Trpo,
+        Technique::Vpg,
+    ];
 
     /// Display label matching the paper's x-axis.
     pub fn label(self) -> &'static str {

@@ -20,7 +20,11 @@ impl DecayingGaussian {
     /// Creates a noise process starting at `sigma`, multiplying by `decay`
     /// each step, floored at `min_sigma`.
     pub fn new(sigma: f64, decay: f64, min_sigma: f64) -> Self {
-        Self { sigma, decay, min_sigma }
+        Self {
+            sigma,
+            decay,
+            min_sigma,
+        }
     }
 
     /// The paper's schedule: start `σ = 1`, decay `0.9999` per update.
@@ -84,7 +88,11 @@ mod tests {
         for _ in 0..20 {
             noise.perturb(&mut a, &mut rng);
         }
-        assert!((noise.sigma() - 0.05).abs() < 1e-12, "floor not reached: {}", noise.sigma());
+        assert!(
+            (noise.sigma() - 0.05).abs() < 1e-12,
+            "floor not reached: {}",
+            noise.sigma()
+        );
     }
 
     #[test]

@@ -81,11 +81,14 @@ impl ReplayBuffer {
     pub fn push(&mut self, t: &Transition) {
         assert_eq!(t.state.len(), self.state_dim, "state dim mismatch");
         assert_eq!(t.action.len(), self.action_dim, "action dim mismatch");
-        assert_eq!(t.next_state.len(), self.state_dim, "next state dim mismatch");
+        assert_eq!(
+            t.next_state.len(),
+            self.state_dim,
+            "next state dim mismatch"
+        );
         let i = self.head;
         self.states[i * self.state_dim..(i + 1) * self.state_dim].copy_from_slice(&t.state);
-        self.actions[i * self.action_dim..(i + 1) * self.action_dim]
-            .copy_from_slice(&t.action);
+        self.actions[i * self.action_dim..(i + 1) * self.action_dim].copy_from_slice(&t.action);
         self.rewards[i] = t.reward;
         self.next_states[i * self.state_dim..(i + 1) * self.state_dim]
             .copy_from_slice(&t.next_state);

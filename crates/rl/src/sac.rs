@@ -146,7 +146,9 @@ impl Sac {
         let n = head.rows();
         let ad = self.action_dim;
         let mean = Matrix::from_fn(n, ad, |i, j| head[(i, j)]);
-        let log_std = Matrix::from_fn(n, ad, |i, j| head[(i, ad + j)].clamp(LOG_STD_MIN, LOG_STD_MAX));
+        let log_std = Matrix::from_fn(n, ad, |i, j| {
+            head[(i, ad + j)].clamp(LOG_STD_MIN, LOG_STD_MAX)
+        });
         let mask = Matrix::from_fn(n, ad, |i, j| {
             let raw = head[(i, ad + j)];
             if (LOG_STD_MIN..=LOG_STD_MAX).contains(&raw) {
@@ -184,7 +186,14 @@ impl Sac {
                     - (a * (1.0 - a)).max(1e-12).ln();
             }
         }
-        PolicySample { actions, u, eps, log_std, log_prob, std_grad_mask: mask }
+        PolicySample {
+            actions,
+            u,
+            eps,
+            log_std,
+            log_prob,
+            std_grad_mask: mask,
+        }
     }
 
     /// The actor network (emits `[μ | log σ_raw]`; see
@@ -196,7 +205,9 @@ impl Sac {
     /// The greedy policy: squashed mean action.
     pub fn policy(&self, state: &[f64]) -> Vec<f64> {
         let head = self.actor.forward_one(state);
-        (0..self.action_dim).map(|j| edgeslice_nn::sigmoid(head[j])).collect()
+        (0..self.action_dim)
+            .map(|j| edgeslice_nn::sigmoid(head[j]))
+            .collect()
     }
 
     /// A stochastic action for exploration.
@@ -229,13 +240,20 @@ impl Sac {
         for i in 0..n {
             let minq = q1n[(i, 0)].min(q2n[(i, 0)]);
             let soft = minq - alpha * next_sample.log_prob[i];
-            let bootstrap = if batch.dones[i] { 0.0 } else { self.config.gamma * soft };
+            let bootstrap = if batch.dones[i] {
+                0.0
+            } else {
+                self.config.gamma * soft
+            };
             targets[(i, 0)] = batch.rewards[i] + bootstrap;
         }
 
         let sa = Matrix::hstack(&[&batch.states, &batch.actions]);
         let mut critic_loss = 0.0;
-        for (q, opt) in [(&mut self.q1, &mut self.q1_opt), (&mut self.q2, &mut self.q2_opt)] {
+        for (q, opt) in [
+            (&mut self.q1, &mut self.q1_opt),
+            (&mut self.q2, &mut self.q2_opt),
+        ] {
             let cache = q.forward_cached(&sa);
             let (loss, d) = edgeslice_nn::mse_loss(cache.output(), &targets);
             let (mut grads, _) = q.backward(&cache, &d);
@@ -296,7 +314,11 @@ impl Sac {
 
         let entropy = -sample.log_prob.iter().sum::<f64>() / n as f64;
         let _ = &sample.u; // u retained for debugging/inspection parity
-        Some(SacUpdate { critic_loss, actor_loss, entropy })
+        Some(SacUpdate {
+            critic_loss,
+            actor_loss,
+            entropy,
+        })
     }
 
     /// Convenience training loop mirroring [`crate::Ddpg::train`].
@@ -311,7 +333,9 @@ impl Sac {
         let mut episode_return = 0.0;
         for step in 0..steps {
             let action = if step < self.config.warmup {
-                (0..env.action_dim()).map(|_| rng.gen_range(0.0..1.0)).collect()
+                (0..env.action_dim())
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
             } else {
                 self.explore(&state, rng)
             };

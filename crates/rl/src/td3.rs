@@ -165,8 +165,10 @@ impl Td3 {
         let mut next_actions = self.target_actor.forward(&batch.next_states);
         for i in 0..n {
             for j in 0..next_actions.cols() {
-                let eps = (self.config.target_noise * sample_standard_normal(rng))
-                    .clamp(-self.config.target_noise_clip, self.config.target_noise_clip);
+                let eps = (self.config.target_noise * sample_standard_normal(rng)).clamp(
+                    -self.config.target_noise_clip,
+                    self.config.target_noise_clip,
+                );
                 next_actions[(i, j)] = (next_actions[(i, j)] + eps).clamp(0.0, 1.0);
             }
         }
@@ -176,13 +178,20 @@ impl Td3 {
         let mut targets = Matrix::zeros(n, 1);
         for i in 0..n {
             let minq = q1n[(i, 0)].min(q2n[(i, 0)]);
-            let bootstrap = if batch.dones[i] { 0.0 } else { self.config.gamma * minq };
+            let bootstrap = if batch.dones[i] {
+                0.0
+            } else {
+                self.config.gamma * minq
+            };
             targets[(i, 0)] = batch.rewards[i] + bootstrap;
         }
 
         let sa = Matrix::hstack(&[&batch.states, &batch.actions]);
         let mut critic_loss = 0.0;
-        for (q, opt) in [(&mut self.q1, &mut self.q1_opt), (&mut self.q2, &mut self.q2_opt)] {
+        for (q, opt) in [
+            (&mut self.q1, &mut self.q1_opt),
+            (&mut self.q2, &mut self.q2_opt),
+        ] {
             let cache = q.forward_cached(&sa);
             let (loss, d) = edgeslice_nn::mse_loss(cache.output(), &targets);
             let (mut grads, _) = q.backward(&cache, &d);
@@ -208,12 +217,16 @@ impl Td3 {
             actor_grads.clip_global_norm(10.0);
             self.actor_opt.step(&mut self.actor, &actor_grads);
 
-            self.target_actor.soft_update_from(&self.actor, self.config.tau);
+            self.target_actor
+                .soft_update_from(&self.actor, self.config.tau);
             self.q1_target.soft_update_from(&self.q1, self.config.tau);
             self.q2_target.soft_update_from(&self.q2, self.config.tau);
         }
 
-        Some(Td3Update { critic_loss, actor_updated })
+        Some(Td3Update {
+            critic_loss,
+            actor_updated,
+        })
     }
 
     /// Convenience training loop mirroring [`crate::Ddpg::train`].
@@ -228,7 +241,9 @@ impl Td3 {
         let mut episode_return = 0.0;
         for step in 0..steps {
             let action = if step < self.config.warmup {
-                (0..env.action_dim()).map(|_| rng.gen_range(0.0..1.0)).collect()
+                (0..env.action_dim())
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
             } else {
                 self.explore(&state, rng)
             };

@@ -14,9 +14,7 @@ use edgeslice_optim::conjugate_gradient;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    collect_rollout, gae, normalize_advantages, Environment, GaussianPolicy, ValueNet,
-};
+use crate::{collect_rollout, gae, normalize_advantages, Environment, GaussianPolicy, ValueNet};
 
 /// Hyper-parameters for [`Trpo`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -98,7 +96,11 @@ impl Trpo {
         );
         let policy = GaussianPolicy::new(mean, config.initial_log_std);
         let value = ValueNet::new(state_dim, config.hidden, config.value_lr, rng);
-        Self { policy, value, config }
+        Self {
+            policy,
+            value,
+            config,
+        }
     }
 
     /// The underlying stochastic policy.
@@ -135,11 +137,7 @@ impl Trpo {
     }
 
     /// Collects one rollout and applies a trust-region step.
-    pub fn update<E: Environment + ?Sized>(
-        &mut self,
-        env: &mut E,
-        rng: &mut StdRng,
-    ) -> TrpoUpdate {
+    pub fn update<E: Environment + ?Sized>(&mut self, env: &mut E, rng: &mut StdRng) -> TrpoUpdate {
         let rollout = collect_rollout(env, &self.policy, self.config.rollout_len, rng);
         let values = self.value.predict(&rollout.states);
         let last_value = self.value.predict_one(&rollout.final_state);
@@ -158,22 +156,25 @@ impl Trpo {
         let cache = self.policy.mean_net().forward_cached(&rollout.states);
         let means = cache.output().clone();
         let dlogp = self.policy.dlogp_dmean(&means, &rollout.raw_actions);
-        let d_mean =
-            Matrix::from_fn(dlogp.rows(), dlogp.cols(), |i, j| adv[i] * dlogp[(i, j)] / n as f64);
+        let d_mean = Matrix::from_fn(dlogp.rows(), dlogp.cols(), |i, j| {
+            adv[i] * dlogp[(i, j)] / n as f64
+        });
         let (grads, _) = self.policy.mean_net().backward(&cache, &d_mean);
         let g = self.policy.mean_net().flat_grads(&grads);
 
         // Fisher-vector product via JVP (forward difference) + VJP
         // (backprop): F v = (1/n) Jᵀ diag(1/σ²) J v + damping v.
         let theta = self.policy.mean_net().flat_params();
-        let sigma_inv2: Vec<f64> =
-            self.policy.log_std().iter().map(|ls| (-2.0 * ls).exp()).collect();
+        let sigma_inv2: Vec<f64> = self
+            .policy
+            .log_std()
+            .iter()
+            .map(|ls| (-2.0 * ls).exp())
+            .collect();
         let fvp = |v: &[f64]| -> Vec<f64> {
-            let eps = 1e-5
-                / v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            let eps = 1e-5 / v.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
             let mut net = self.policy.mean_net().clone();
-            let perturbed: Vec<f64> =
-                theta.iter().zip(v).map(|(t, vi)| t + eps * vi).collect();
+            let perturbed: Vec<f64> = theta.iter().zip(v).map(|(t, vi)| t + eps * vi).collect();
             net.set_flat_params(&perturbed);
             let mu_eps = net.forward(&rollout.states);
             // Jv, weighted by 1/σ² and 1/n.
@@ -192,7 +193,8 @@ impl Trpo {
         let s_fs: f64 = s.iter().zip(fvp(&s)).map(|(a, b)| a * b).sum();
         if s_fs <= 1e-12 || !s_fs.is_finite() {
             // Degenerate direction; skip the policy step but keep learning V.
-            self.value.fit(&rollout.states, &targets, self.config.value_epochs, 64, rng);
+            self.value
+                .fit(&rollout.states, &targets, self.config.value_epochs, 64, rng);
             return TrpoUpdate {
                 mean_reward: rollout.rewards.iter().sum::<f64>() / n as f64,
                 kl: 0.0,
@@ -202,8 +204,13 @@ impl Trpo {
         }
         let beta = (2.0 * self.config.max_kl / s_fs).sqrt();
 
-        let old_surrogate =
-            Self::surrogate(&self.policy, &rollout.states, &rollout.raw_actions, &rollout.log_probs, &adv);
+        let old_surrogate = Self::surrogate(
+            &self.policy,
+            &rollout.states,
+            &rollout.raw_actions,
+            &rollout.log_probs,
+            &adv,
+        );
         let old_policy = self.policy.clone();
         let mut accepted = false;
         let mut kl = 0.0;
@@ -236,7 +243,8 @@ impl Trpo {
             self.policy = old_policy;
         }
 
-        self.value.fit(&rollout.states, &targets, self.config.value_epochs, 64, rng);
+        self.value
+            .fit(&rollout.states, &targets, self.config.value_epochs, 64, rng);
         TrpoUpdate {
             mean_reward: rollout.rewards.iter().sum::<f64>() / n as f64,
             kl,
@@ -252,7 +260,9 @@ impl Trpo {
         iterations: usize,
         rng: &mut StdRng,
     ) -> Vec<f64> {
-        (0..iterations).map(|_| self.update(env, rng).mean_reward).collect()
+        (0..iterations)
+            .map(|_| self.update(env, rng).mean_reward)
+            .collect()
     }
 }
 
@@ -267,12 +277,19 @@ mod tests {
     fn improves_on_tracking_task() {
         let mut rng = StdRng::seed_from_u64(12);
         let mut env = TrackingEnv::new(20);
-        let cfg = TrpoConfig { hidden: 16, rollout_len: 256, ..Default::default() };
+        let cfg = TrpoConfig {
+            hidden: 16,
+            rollout_len: 256,
+            ..Default::default()
+        };
         let mut agent = Trpo::new(1, 1, cfg, &mut rng);
         let before = evaluate(&mut env, |s| agent.policy(s), 10, 20, &mut rng);
         agent.train(&mut env, 25, &mut rng);
         let after = evaluate(&mut env, |s| agent.policy(s), 10, 20, &mut rng);
-        assert!(after > before, "TRPO failed to improve: {before:.2} -> {after:.2}");
+        assert!(
+            after > before,
+            "TRPO failed to improve: {before:.2} -> {after:.2}"
+        );
         assert!(after > 17.5, "TRPO final score too low: {after:.2}");
     }
 
@@ -280,7 +297,11 @@ mod tests {
     fn accepted_steps_respect_kl_bound() {
         let mut rng = StdRng::seed_from_u64(13);
         let mut env = TrackingEnv::new(10);
-        let cfg = TrpoConfig { hidden: 8, rollout_len: 128, ..Default::default() };
+        let cfg = TrpoConfig {
+            hidden: 8,
+            rollout_len: 128,
+            ..Default::default()
+        };
         let mut agent = Trpo::new(1, 1, cfg, &mut rng);
         for _ in 0..5 {
             let u = agent.update(&mut env, &mut rng);

@@ -54,11 +54,8 @@ impl ValueNet {
             let mut batches = 0;
             for chunk in indices.chunks(batch_size.max(1)) {
                 let xs = states.select_rows(chunk);
-                let ys = Matrix::from_vec(
-                    chunk.len(),
-                    1,
-                    chunk.iter().map(|&i| targets[i]).collect(),
-                );
+                let ys =
+                    Matrix::from_vec(chunk.len(), 1, chunk.iter().map(|&i| targets[i]).collect());
                 let cache = self.net.forward_cached(&xs);
                 let (loss, d) = mse_loss(cache.output(), &ys);
                 let (grads, _) = self.net.backward(&cache, &d);
@@ -82,8 +79,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut v = ValueNet::new(2, 16, 1e-2, &mut rng);
         let states = Matrix::from_fn(64, 2, |i, j| ((i * 2 + j) % 8) as f64 / 8.0);
-        let targets: Vec<f64> =
-            (0..64).map(|i| states[(i, 0)] + 2.0 * states[(i, 1)]).collect();
+        let targets: Vec<f64> = (0..64)
+            .map(|i| states[(i, 0)] + 2.0 * states[(i, 1)])
+            .collect();
         let first = v.fit(&states, &targets, 1, 16, &mut rng);
         let last = v.fit(&states, &targets, 60, 16, &mut rng);
         assert!(last < first * 0.2, "value fit stalled: {first} -> {last}");

@@ -5,9 +5,7 @@ use edgeslice_nn::{Adam, Matrix};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
-use crate::{
-    collect_rollout, gae, normalize_advantages, Environment, GaussianPolicy, ValueNet,
-};
+use crate::{collect_rollout, gae, normalize_advantages, Environment, GaussianPolicy, ValueNet};
 
 /// Hyper-parameters for [`Vpg`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -77,7 +75,12 @@ impl Vpg {
         let policy = GaussianPolicy::new(mean, config.initial_log_std);
         let policy_opt = Adam::new(policy.mean_net(), config.policy_lr);
         let value = ValueNet::new(state_dim, config.hidden, config.value_lr, rng);
-        Self { policy, policy_opt, value, config }
+        Self {
+            policy,
+            policy_opt,
+            value,
+            config,
+        }
     }
 
     /// The greedy (mean) policy action.
@@ -95,11 +98,7 @@ impl Vpg {
     }
 
     /// Collects one rollout and applies one policy-gradient step.
-    pub fn update<E: Environment + ?Sized>(
-        &mut self,
-        env: &mut E,
-        rng: &mut StdRng,
-    ) -> VpgUpdate {
+    pub fn update<E: Environment + ?Sized>(&mut self, env: &mut E, rng: &mut StdRng) -> VpgUpdate {
         let rollout = collect_rollout(env, &self.policy, self.config.rollout_len, rng);
         let values = self.value.predict(&rollout.states);
         let last_value = self.value.predict_one(&rollout.final_state);
@@ -119,8 +118,9 @@ impl Vpg {
         let means = cache.output().clone();
         let dlogp = self.policy.dlogp_dmean(&means, &rollout.raw_actions);
         let n = rollout.rewards.len() as f64;
-        let d_mean =
-            Matrix::from_fn(dlogp.rows(), dlogp.cols(), |i, j| -adv[i] * dlogp[(i, j)] / n);
+        let d_mean = Matrix::from_fn(dlogp.rows(), dlogp.cols(), |i, j| {
+            -adv[i] * dlogp[(i, j)] / n
+        });
         let (mut grads, _) = self.policy.mean_net().backward(&cache, &d_mean);
         grads.clip_global_norm(5.0);
         self.policy_opt.step(self.policy.mean_net_mut(), &grads);
@@ -136,13 +136,9 @@ impl Vpg {
             *ls = (*ls - self.config.policy_lr * g).clamp(-3.0, 1.0);
         }
 
-        let value_loss = self.value.fit(
-            &rollout.states,
-            &targets,
-            self.config.value_epochs,
-            64,
-            rng,
-        );
+        let value_loss =
+            self.value
+                .fit(&rollout.states, &targets, self.config.value_epochs, 64, rng);
         VpgUpdate {
             mean_reward: rollout.rewards.iter().sum::<f64>() / n,
             value_loss,
@@ -157,7 +153,9 @@ impl Vpg {
         iterations: usize,
         rng: &mut StdRng,
     ) -> Vec<f64> {
-        (0..iterations).map(|_| self.update(env, rng).mean_reward).collect()
+        (0..iterations)
+            .map(|_| self.update(env, rng).mean_reward)
+            .collect()
     }
 }
 
@@ -172,12 +170,19 @@ mod tests {
     fn improves_on_tracking_task() {
         let mut rng = StdRng::seed_from_u64(4);
         let mut env = TrackingEnv::new(20);
-        let cfg = VpgConfig { hidden: 16, rollout_len: 256, ..Default::default() };
+        let cfg = VpgConfig {
+            hidden: 16,
+            rollout_len: 256,
+            ..Default::default()
+        };
         let mut agent = Vpg::new(1, 1, cfg, &mut rng);
         let before = evaluate(&mut env, |s| agent.policy(s), 10, 20, &mut rng);
         agent.train(&mut env, 30, &mut rng);
         let after = evaluate(&mut env, |s| agent.policy(s), 10, 20, &mut rng);
-        assert!(after > before, "VPG failed to improve: {before:.2} -> {after:.2}");
+        assert!(
+            after > before,
+            "VPG failed to improve: {before:.2} -> {after:.2}"
+        );
         assert!(after > 18.0, "VPG final score too low: {after:.2}");
     }
 
@@ -193,7 +198,11 @@ mod tests {
     fn update_reports_finite_diagnostics() {
         let mut rng = StdRng::seed_from_u64(6);
         let mut env = TrackingEnv::new(10);
-        let cfg = VpgConfig { hidden: 8, rollout_len: 64, ..Default::default() };
+        let cfg = VpgConfig {
+            hidden: 8,
+            rollout_len: 64,
+            ..Default::default()
+        };
         let mut agent = Vpg::new(1, 1, cfg, &mut rng);
         let u = agent.update(&mut env, &mut rng);
         assert!(u.mean_reward.is_finite());

@@ -19,7 +19,11 @@ struct MirrorEnv {
 
 impl MirrorEnv {
     fn new(horizon: usize) -> Self {
-        Self { state: [0.5, 0.5], steps: 0, horizon }
+        Self {
+            state: [0.5, 0.5],
+            steps: 0,
+            horizon,
+        }
     }
 }
 
@@ -89,7 +93,12 @@ fn ddpg_learns_mirror() {
 fn sac_learns_mirror() {
     let mut rng = StdRng::seed_from_u64(2);
     let mut env = MirrorEnv::new(HORIZON);
-    let cfg = SacConfig { hidden: 16, batch_size: 32, warmup: 100, ..Default::default() };
+    let cfg = SacConfig {
+        hidden: 16,
+        batch_size: 32,
+        warmup: 100,
+        ..Default::default()
+    };
     let mut agent = Sac::new(2, 2, cfg, &mut rng);
     agent.train(&mut env, 2_500, &mut rng);
     let s = score(|st| agent.policy(st), &mut rng);
@@ -100,7 +109,12 @@ fn sac_learns_mirror() {
 fn ppo_learns_mirror() {
     let mut rng = StdRng::seed_from_u64(3);
     let mut env = MirrorEnv::new(HORIZON);
-    let cfg = PpoConfig { hidden: 16, rollout_len: 256, policy_lr: 1e-3, ..Default::default() };
+    let cfg = PpoConfig {
+        hidden: 16,
+        rollout_len: 256,
+        policy_lr: 1e-3,
+        ..Default::default()
+    };
     let mut agent = Ppo::new(2, 2, cfg, &mut rng);
     agent.train(&mut env, 25, &mut rng);
     let s = score(|st| agent.policy(st), &mut rng);
@@ -111,7 +125,11 @@ fn ppo_learns_mirror() {
 fn trpo_learns_mirror() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut env = MirrorEnv::new(HORIZON);
-    let cfg = TrpoConfig { hidden: 16, rollout_len: 256, ..Default::default() };
+    let cfg = TrpoConfig {
+        hidden: 16,
+        rollout_len: 256,
+        ..Default::default()
+    };
     let mut agent = Trpo::new(2, 2, cfg, &mut rng);
     agent.train(&mut env, 25, &mut rng);
     let s = score(|st| agent.policy(st), &mut rng);
@@ -122,7 +140,11 @@ fn trpo_learns_mirror() {
 fn vpg_learns_mirror() {
     let mut rng = StdRng::seed_from_u64(5);
     let mut env = MirrorEnv::new(HORIZON);
-    let cfg = VpgConfig { hidden: 16, rollout_len: 256, ..Default::default() };
+    let cfg = VpgConfig {
+        hidden: 16,
+        rollout_len: 256,
+        ..Default::default()
+    };
     let mut agent = Vpg::new(2, 2, cfg, &mut rng);
     agent.train(&mut env, 35, &mut rng);
     let s = score(|st| agent.policy(st), &mut rng);

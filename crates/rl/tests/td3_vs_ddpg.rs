@@ -47,7 +47,11 @@ impl Environment for NoisyTrackingEnv {
 
 /// Noise-free evaluation of a policy on the underlying task.
 fn true_score(mut policy: impl FnMut(&[f64]) -> Vec<f64>, rng: &mut StdRng) -> f64 {
-    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let mut env = NoisyTrackingEnv {
+        target: 0.5,
+        steps: 0,
+        horizon: 20,
+    };
     let mut total = 0.0;
     for _ in 0..10 {
         let mut s = env.reset(rng);
@@ -68,7 +72,11 @@ fn true_score(mut policy: impl FnMut(&[f64]) -> Vec<f64>, rng: &mut StdRng) -> f
 #[test]
 fn td3_learns_under_reward_noise() {
     let mut rng = StdRng::seed_from_u64(71);
-    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let mut env = NoisyTrackingEnv {
+        target: 0.5,
+        steps: 0,
+        horizon: 20,
+    };
     let cfg = Td3Config {
         hidden: 16,
         batch_size: 32,
@@ -86,7 +94,11 @@ fn td3_learns_under_reward_noise() {
 #[test]
 fn ddpg_also_learns_but_td3_is_no_worse() {
     let mut rng = StdRng::seed_from_u64(72);
-    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let mut env = NoisyTrackingEnv {
+        target: 0.5,
+        steps: 0,
+        horizon: 20,
+    };
     let ddpg_cfg = DdpgConfig {
         hidden: 16,
         batch_size: 32,
@@ -137,7 +149,11 @@ fn noise_free_evaluation_matches_evaluate_shape() {
     // Sanity: the crate's `evaluate` helper and our noise-free scorer agree
     // on ordering for an oracle vs a constant policy.
     let mut rng = StdRng::seed_from_u64(74);
-    let mut env = NoisyTrackingEnv { target: 0.5, steps: 0, horizon: 20 };
+    let mut env = NoisyTrackingEnv {
+        target: 0.5,
+        steps: 0,
+        horizon: 20,
+    };
     let oracle = evaluate(&mut env, |s| vec![s[0]], 20, 20, &mut rng);
     let constant = evaluate(&mut env, |_| vec![0.0], 20, 20, &mut rng);
     assert!(oracle > constant);

@@ -60,13 +60,20 @@ fn main() {
     let report = edgeslice.run(6, &mut rng);
 
     let mut rng_b = StdRng::seed_from_u64(11);
-    let mut taro =
-        EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), &mut rng_b);
+    let mut taro = EdgeSliceSystem::new(
+        config,
+        OrchestratorKind::Taro,
+        &AgentConfig::default(),
+        &mut rng_b,
+    );
     let taro_report = taro.run(6, &mut rng_b);
 
     println!("\nround  EdgeSlice      TARO   (latency-SLO metric; 0 is perfect)");
     for (r, t) in report.rounds.iter().zip(&taro_report.rounds) {
-        println!("{:>5}  {:>9.2}  {:>8.2}", r.round, r.system_performance, t.system_performance);
+        println!(
+            "{:>5}  {:>9.2}  {:>8.2}",
+            r.round, r.system_performance, t.system_performance
+        );
     }
     println!(
         "\ntail: EdgeSlice {:.2} vs TARO {:.2}",

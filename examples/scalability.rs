@@ -33,8 +33,12 @@ fn main() {
         let es_perf = es.run(4, &mut rng).tail_system_performance(2) / n_ras as f64;
 
         let mut rng_b = StdRng::seed_from_u64(40 + n_ras as u64);
-        let mut taro =
-            EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), &mut rng_b);
+        let mut taro = EdgeSliceSystem::new(
+            config,
+            OrchestratorKind::Taro,
+            &AgentConfig::default(),
+            &mut rng_b,
+        );
         let taro_perf = taro.run(4, &mut rng_b).tail_system_performance(2) / n_ras as f64;
 
         println!("{n_ras:>6}  {es_perf:>14.1}  {taro_perf:>14.1}");

@@ -10,7 +10,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let path = std::env::args().nth(1).unwrap_or_else(|| "data/sample_trace.csv".to_string());
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "data/sample_trace.csv".to_string());
     let trace = match CsvTrace::from_file(&path) {
         Ok(t) => t,
         Err(e) => {
@@ -34,7 +36,10 @@ fn main() {
     let taro = Taro::new();
     let mut rng = StdRng::seed_from_u64(3);
     env.clear_queues();
-    println!("\n{:>8}  {:>10}  {:>10}  {:>10}", "hour", "queue_all", "queue1", "U_total");
+    println!(
+        "\n{:>8}  {:>10}  {:>10}  {:>10}",
+        "hour", "queue_all", "queue1", "U_total"
+    );
     let mut total = 0.0;
     for hour in 0..24 {
         let action = taro.action(&env.queue_lengths());

@@ -23,7 +23,10 @@ fn main() {
     ];
     for (imsi, slice, ip) in users {
         let msg: S1apMessage = enb
-            .attach(UserEquipment { imsi, band: LteBand::Band7 })
+            .attach(UserEquipment {
+                imsi,
+                band: LteBand::Band7,
+            })
             .expect("UE searches band 7");
         let learned = extract_imsi(&msg).expect("attach carries the IMSI");
         enb.associate(learned, slice.0);
@@ -46,18 +49,20 @@ fn main() {
     // --- Apply an end-to-end allocation through the manager stack.
     let mut managers = ResourceManagers::prototype(RaId(0), 2);
     let allocation = [
-        SliceAllocation { slice: SliceId(0), shares: DomainShares::new(0.72, 0.6, 0.25) },
-        SliceAllocation { slice: SliceId(1), shares: DomainShares::new(0.2, 0.3, 0.7) },
+        SliceAllocation {
+            slice: SliceId(0),
+            shares: DomainShares::new(0.72, 0.6, 0.25),
+        },
+        SliceAllocation {
+            slice: SliceId(1),
+            shares: DomainShares::new(0.2, 0.3, 0.7),
+        },
     ];
     let rates = managers.apply(&allocation).expect("both slices are served");
     println!("\nachieved rates:");
     for (i, r) in rates.iter().enumerate() {
-        let service = service_time_seconds(
-            &apps[i],
-            r.radio_mbps,
-            r.transport_mbps,
-            r.compute_gflops_s,
-        );
+        let service =
+            service_time_seconds(&apps[i], r.radio_mbps, r.transport_mbps, r.compute_gflops_s);
         println!(
             "  slice {}: radio {:.1} Mb/s | transport {:.1} Mb/s | GPU {:.0} GFLOPs/s -> {:.1} ms/frame ({:.1} fps)",
             i + 1,

@@ -1,16 +1,19 @@
 //! Cross-crate integration tests: the full Alg. 1 loop over envs, agents,
 //! coordinator and monitor.
 
-use edgeslice::{
-    AgentConfig, EdgeSliceSystem, OrchestratorKind, RaId, SliceId, SystemConfig,
-};
+use edgeslice::{AgentConfig, EdgeSliceSystem, OrchestratorKind, RaId, SliceId, SystemConfig};
 use edgeslice_rl::{DdpgConfig, Technique};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn quick_agents() -> AgentConfig {
     AgentConfig {
-        ddpg: DdpgConfig { hidden: 16, batch_size: 32, warmup: 50, ..Default::default() },
+        ddpg: DdpgConfig {
+            hidden: 16,
+            batch_size: 32,
+            warmup: 50,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
@@ -38,8 +41,12 @@ fn taro_run_is_reproducible_given_seed() {
 fn monitor_agrees_with_run_report() {
     let mut rng = StdRng::seed_from_u64(0);
     let config = SystemConfig::prototype();
-    let mut sys =
-        EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), &mut rng);
+    let mut sys = EdgeSliceSystem::new(
+        config,
+        OrchestratorKind::Taro,
+        &AgentConfig::default(),
+        &mut rng,
+    );
     let report = sys.run(4, &mut rng);
     for r in &report.rounds {
         let monitored = sys.monitor().round_system_performance(r.round);
@@ -51,13 +58,16 @@ fn monitor_agrees_with_run_report() {
         );
         // Per-slice totals agree too.
         let agg = sys.monitor().round_performance(r.round, 2, 2);
-        for i in 0..2 {
-            let s: f64 = agg[i].iter().sum();
-            assert!((s - r.slice_performance[i]).abs() < 1e-6);
+        for (row, expected) in agg.iter().zip(&r.slice_performance) {
+            let s: f64 = row.iter().sum();
+            assert!((s - expected).abs() < 1e-6);
         }
     }
     // Every (round, interval, ra, slice) tuple recorded exactly once.
-    assert_eq!(sys.monitor().records().len(), report.rounds.len() * 10 * 2 * 2);
+    assert_eq!(
+        sys.monitor().records().len(),
+        report.rounds.len() * 10 * 2 * 2
+    );
 }
 
 #[test]
@@ -138,15 +148,22 @@ fn monitor_interval_series_shapes() {
     let config = SystemConfig::prototype();
     let period = config.reward.period;
     let n_ras = config.n_ras;
-    let mut sys =
-        EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), &mut rng);
+    let mut sys = EdgeSliceSystem::new(
+        config,
+        OrchestratorKind::Taro,
+        &AgentConfig::default(),
+        &mut rng,
+    );
     let report = sys.run(3, &mut rng);
     let sys_series = sys.monitor().interval_system_series(period);
     assert_eq!(sys_series.len(), report.rounds.len() * period);
     let s0 = sys.monitor().slice_interval_series(SliceId(0), period);
     let s1 = sys.monitor().slice_interval_series(SliceId(1), period);
     for ((a, b), total) in s0.iter().zip(&s1).zip(&sys_series) {
-        assert!((a + b - total).abs() < 1e-9, "slice series must sum to system series");
+        assert!(
+            (a + b - total).abs() < 1e-9,
+            "slice series must sum to system series"
+        );
     }
     let usage = sys.monitor().usage_interval_series(
         SliceId(0),

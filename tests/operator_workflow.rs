@@ -4,7 +4,7 @@
 
 use edgeslice::{
     AdmissionController, AgentConfig, EdgeSliceSystem, OrchestratorKind, OverheadModel,
-    PolicyCheckpoint, RaId, SliceRequest, Sla, SystemConfig,
+    PolicyCheckpoint, RaId, Sla, SliceRequest, SystemConfig,
 };
 use edgeslice_netsim::AppProfile;
 use edgeslice_rl::{DdpgConfig, Technique};
@@ -15,20 +15,35 @@ use rand::SeedableRng;
 fn admitted_slices_form_a_runnable_system() {
     let mut ctl = AdmissionController::prototype();
     let requests = [
-        SliceRequest { app: AppProfile::traffic_heavy(), expected_rate: 10.0, sla: Sla::paper() },
-        SliceRequest { app: AppProfile::compute_heavy(), expected_rate: 10.0, sla: Sla::paper() },
+        SliceRequest {
+            app: AppProfile::traffic_heavy(),
+            expected_rate: 10.0,
+            sla: Sla::paper(),
+        },
+        SliceRequest {
+            app: AppProfile::compute_heavy(),
+            expected_rate: 10.0,
+            sla: Sla::paper(),
+        },
     ];
     let specs: Vec<_> = requests
         .iter()
-        .map(|r| ctl.decide(r).expect("prototype capacity admits the experimental pair"))
+        .map(|r| {
+            ctl.decide(r)
+                .expect("prototype capacity admits the experimental pair")
+        })
         .collect();
 
     // Assemble a system from exactly the admitted slices.
     let mut config = SystemConfig::prototype();
     config.slices = specs;
     let mut rng = StdRng::seed_from_u64(0);
-    let mut sys =
-        EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), &mut rng);
+    let mut sys = EdgeSliceSystem::new(
+        config,
+        OrchestratorKind::Taro,
+        &AgentConfig::default(),
+        &mut rng,
+    );
     let report = sys.run(2, &mut rng);
     assert_eq!(report.rounds.len(), 2);
     assert_eq!(report.rounds[0].slice_performance.len(), 2);
@@ -37,8 +52,11 @@ fn admitted_slices_form_a_runnable_system() {
 #[test]
 fn admission_protects_against_oversubscription() {
     let mut ctl = AdmissionController::prototype();
-    let heavy =
-        SliceRequest { app: AppProfile::compute_heavy(), expected_rate: 30.0, sla: Sla::paper() };
+    let heavy = SliceRequest {
+        app: AppProfile::compute_heavy(),
+        expected_rate: 30.0,
+        sla: Sla::paper(),
+    };
     let mut admitted = 0;
     while ctl.decide(&heavy).is_ok() {
         admitted += 1;
@@ -46,7 +64,10 @@ fn admission_protects_against_oversubscription() {
     }
     // Every committed fraction stays within capacity.
     let residual = ctl.residual();
-    assert!(residual.iter().all(|&r| (0.0..=1.0).contains(&r)), "{residual:?}");
+    assert!(
+        residual.iter().all(|&r| (0.0..=1.0).contains(&r)),
+        "{residual:?}"
+    );
 }
 
 #[test]
@@ -62,7 +83,12 @@ fn checkpoint_deploys_a_trained_policy() {
         ],
     );
     let agent_cfg = AgentConfig {
-        ddpg: DdpgConfig { hidden: 16, batch_size: 32, warmup: 50, ..Default::default() },
+        ddpg: DdpgConfig {
+            hidden: 16,
+            batch_size: 32,
+            warmup: 50,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut agent =
@@ -71,12 +97,17 @@ fn checkpoint_deploys_a_trained_policy() {
 
     // Ship the policy as JSON and redeploy it.
     let json = PolicyCheckpoint::from_agent(&agent).to_json().unwrap();
-    let frozen = PolicyCheckpoint::from_json(&json).unwrap().into_frozen_policy(RaId(1));
+    let frozen = PolicyCheckpoint::from_json(&json)
+        .unwrap()
+        .into_frozen_policy(RaId(1));
     let state = env.observe();
     // Compare within a few ulps: the two call sites may be optimized with
     // different instruction selection.
     for (a, b) in frozen.decide(&state).iter().zip(agent.decide(&state)) {
-        assert!((a - b).abs() <= 1e-12, "checkpoint policy diverged: {a} vs {b}");
+        assert!(
+            (a - b).abs() <= 1e-12,
+            "checkpoint policy diverged: {a} vs {b}"
+        );
     }
 }
 
@@ -84,7 +115,12 @@ fn checkpoint_deploys_a_trained_policy() {
 fn decentralization_overhead_argument_holds_at_paper_scales() {
     // Prototype scale (2×2, T=10) and simulation scale (5×10, T=24).
     for (n_slices, n_ras, period) in [(2, 2, 10), (5, 10, 24)] {
-        let m = OverheadModel { n_slices, n_ras, n_resources: 3, period };
+        let m = OverheadModel {
+            n_slices,
+            n_ras,
+            n_resources: 3,
+            period,
+        };
         let es = m.edgeslice_round();
         let central = m.centralized_round();
         assert!(central.total() > es.total());

@@ -9,7 +9,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn traffic() -> Vec<Box<dyn TrafficSource + Send>> {
-    vec![Box::new(PoissonTraffic::paper()), Box::new(PoissonTraffic::paper())]
+    vec![
+        Box::new(PoissonTraffic::paper()),
+        Box::new(PoissonTraffic::paper()),
+    ]
 }
 
 fn config() -> RaEnvConfig {
@@ -48,7 +51,10 @@ fn service_times_agree_on_grid_actions() {
             .enumerate()
         {
             let rel = (a - b).abs() / b.max(1e-9);
-            assert!(rel < 0.05, "slice {i}: physical {a} vs dataset {b} (action {action:?})");
+            assert!(
+                rel < 0.05,
+                "slice {i}: physical {a} vs dataset {b} (action {action:?})"
+            );
         }
     }
 }
