@@ -1,0 +1,342 @@
+//! The orchestration layer's bindings to the [`edgeslice_runtime`]
+//! execution engine: one [`RaExecWorker`] per resource autonomy (policy +
+//! environment + private RNG stream + fault view + checkpoints) and one
+//! [`SystemExecCoordinator`] wrapping the ADMM coordinator and the system
+//! monitor.
+//!
+//! Both the sequential and the threaded schedulers drive exactly this
+//! code, so `EdgeSliceSystem::run*` has a single round-loop implementation
+//! regardless of topology — and, because every worker owns a
+//! domain-separated RNG stream, the two topologies produce bit-identical
+//! [`crate::RunReport`]s for the same seed.
+
+use std::time::Duration;
+
+use edgeslice_runtime::{Control, CoordInfo, RaReport, RoundCoordinator, RoundWorker};
+use rand::rngs::StdRng;
+
+use crate::{
+    project_action_per_resource, FaultInjector, FrozenPolicy, IntervalStatus, MonitorRecord,
+    OrchestrationAgent, PerformanceCoordinator, PolicyCheckpoint, RaId, RaSliceEnv, RoundRecord,
+    RunReport, SliceId, SliceSpec, SystemMonitor, Taro,
+};
+
+/// The policy a worker decides with.
+pub(crate) enum WorkerPolicy<'a> {
+    /// A trained per-RA DRL agent (decisions only; training never runs
+    /// inside a coordination round).
+    Learned(&'a OrchestrationAgent),
+    /// The TARO proportional baseline.
+    Taro(Taro),
+}
+
+/// One RA's round outcome, carried in [`RaReport::body`]: the achieved
+/// per-slice `Σ_t U`, the end-of-round backlog, and this round's monitor
+/// rows (the VR-interface reports, shipped to the central monitor in one
+/// batch per round).
+pub(crate) struct RaRoundBody {
+    /// `Σ_t U_{i,j}` per slice `i` for this RA `j`.
+    pub u: Vec<f64>,
+    /// End-of-round queue backlog per slice.
+    pub load: Vec<f64>,
+    /// The round's per-(interval, slice) monitor rows.
+    pub records: Vec<MonitorRecord>,
+}
+
+/// A per-RA execution worker: everything one resource autonomy needs to
+/// run coordination rounds without touching any other RA's state.
+pub(crate) struct RaExecWorker<'a> {
+    ra: RaId,
+    env: &'a mut RaSliceEnv,
+    policy: WorkerPolicy<'a>,
+    injector: &'a FaultInjector,
+    /// This worker's private, domain-separated traffic stream.
+    rng: StdRng,
+    period: usize,
+    n_slices: usize,
+    project_actions: bool,
+    /// Global round index of this run's round 0 (monitor rounds keep
+    /// counting across runs).
+    round_base: usize,
+    /// Policy snapshot taken at outage start (learned kinds only).
+    checkpoint: Option<PolicyCheckpoint>,
+    /// Policy restored from the checkpoint at rejoin; decisions after a
+    /// rejoin are bit-identical to the pre-outage policy.
+    restored: Option<FrozenPolicy>,
+    was_down: bool,
+    /// Real wall-clock delay applied when this worker straggles, making
+    /// the late report physically late on the channel (zero by default so
+    /// determinism tests stay instant).
+    straggle_sleep: Duration,
+}
+
+impl<'a> RaExecWorker<'a> {
+    #[allow(clippy::too_many_arguments)] // plain construction-time wiring
+    pub(crate) fn new(
+        ra: RaId,
+        env: &'a mut RaSliceEnv,
+        policy: WorkerPolicy<'a>,
+        injector: &'a FaultInjector,
+        rng: StdRng,
+        period: usize,
+        project_actions: bool,
+        round_base: usize,
+        straggle_sleep: Duration,
+    ) -> Self {
+        let n_slices = env.n_slices();
+        Self {
+            ra,
+            env,
+            policy,
+            injector,
+            rng,
+            period,
+            n_slices,
+            project_actions,
+            round_base,
+            checkpoint: None,
+            restored: None,
+            was_down: false,
+            straggle_sleep,
+        }
+    }
+}
+
+impl RoundWorker for RaExecWorker<'_> {
+    type Body = RaRoundBody;
+
+    fn ra(&self) -> usize {
+        self.ra.0
+    }
+
+    fn run_round(&mut self, info: &CoordInfo) -> RaReport<RaRoundBody> {
+        let round_off = info.round;
+        let round = self.round_base + round_off;
+        let view = self.injector.view(self.ra, round_off);
+        if view.down {
+            // Outage start: make-before-break — snapshot the policy the
+            // RA will be re-deployed from when it rejoins.
+            if !self.was_down {
+                self.handle_control(&Control::Checkpoint);
+            }
+            self.was_down = true;
+            return RaReport {
+                ra: self.ra.0,
+                round: round_off,
+                deadline_missed: false,
+                body: None,
+            };
+        }
+        if view.rejoining || self.was_down {
+            self.handle_control(&Control::Rejoin { round: round_off });
+            self.was_down = false;
+        }
+        self.env.set_capacity_scale(view.capacity_scale);
+        if !view.broadcast_dropped {
+            self.env.set_coordination(&info.zy);
+        }
+        let mut u = vec![0.0; self.n_slices];
+        let mut records = Vec::with_capacity(self.period * self.n_slices);
+        for t in 0..self.period {
+            let mut action = match &self.policy {
+                WorkerPolicy::Learned(agent) => match &self.restored {
+                    Some(policy) => policy.decide(&self.env.observe()),
+                    None => agent.decide(&self.env.observe()),
+                },
+                WorkerPolicy::Taro(taro) => taro.action(&self.env.queue_lengths()),
+            };
+            if self.project_actions {
+                project_action_per_resource(&mut action, self.n_slices);
+            }
+            let (_, perf) = self.env.advance(&action, &mut self.rng);
+            let queues = self.env.queue_lengths();
+            let shares = self.env.last_shares();
+            for i in 0..self.n_slices {
+                u[i] += perf[i];
+                records.push(MonitorRecord {
+                    round,
+                    interval: t,
+                    ra: self.ra,
+                    slice: SliceId(i),
+                    queue: queues[i],
+                    performance: perf[i],
+                    shares: shares[i].as_array(),
+                    status: IntervalStatus::Served,
+                });
+            }
+        }
+        if view.straggler && !self.straggle_sleep.is_zero() {
+            std::thread::sleep(self.straggle_sleep);
+        }
+        RaReport {
+            ra: self.ra.0,
+            round: round_off,
+            deadline_missed: view.straggler,
+            body: Some(RaRoundBody {
+                u,
+                load: self.env.queue_lengths(),
+                records,
+            }),
+        }
+    }
+
+    fn handle_control(&mut self, ctl: &Control) {
+        match ctl {
+            Control::Checkpoint => {
+                if let WorkerPolicy::Learned(agent) = &self.policy {
+                    if self.checkpoint.is_none() {
+                        self.checkpoint = Some(PolicyCheckpoint::from_agent(agent));
+                    }
+                }
+            }
+            Control::Rejoin { .. } => {
+                // The node rebooted: backlog is gone, and the policy is
+                // re-deployed from the outage-start checkpoint.
+                self.env.clear_queues();
+                if let Some(ckpt) = self.checkpoint.take() {
+                    self.restored = Some(ckpt.into_frozen_policy(self.ra));
+                }
+            }
+            Control::Shutdown => {}
+        }
+    }
+}
+
+/// The coordinator task: folds per-RA reports into the ADMM update, the
+/// monitor database and the [`RunReport`].
+pub(crate) struct SystemExecCoordinator<'a> {
+    coordinator: &'a mut PerformanceCoordinator,
+    monitor: &'a mut SystemMonitor,
+    slices: &'a [SliceSpec],
+    n_ras: usize,
+    period: usize,
+    round_base: usize,
+    /// The per-round records accumulated so far.
+    pub report: RunReport,
+}
+
+impl<'a> SystemExecCoordinator<'a> {
+    pub(crate) fn new(
+        coordinator: &'a mut PerformanceCoordinator,
+        monitor: &'a mut SystemMonitor,
+        slices: &'a [SliceSpec],
+        n_ras: usize,
+        period: usize,
+        round_base: usize,
+    ) -> Self {
+        Self {
+            coordinator,
+            monitor,
+            slices,
+            n_ras,
+            period,
+            round_base,
+            report: RunReport::default(),
+        }
+    }
+}
+
+impl RoundCoordinator for SystemExecCoordinator<'_> {
+    type Body = RaRoundBody;
+
+    fn broadcast(&mut self, _round: usize) -> Vec<Vec<f64>> {
+        let info = self.coordinator.coordination_info();
+        (0..self.n_ras).map(|j| info.for_ra(RaId(j))).collect()
+    }
+
+    fn collect(&mut self, round_off: usize, reports: Vec<Option<RaReport<RaRoundBody>>>) -> bool {
+        let round = self.round_base + round_off;
+        let n_slices = self.slices.len();
+        let mut achieved = vec![vec![0.0; self.n_ras]; n_slices];
+        let mut present = vec![true; self.n_ras];
+        let mut load = vec![0.0; self.n_ras];
+        let mut outages = Vec::new();
+        for (j, slot) in reports.into_iter().enumerate() {
+            match slot {
+                // The report never arrived (wall-clock deadline expiry on
+                // a hung worker): the RA is missing this round and its
+                // monitor rows are lost with the message.
+                None => present[j] = false,
+                Some(rep) => match rep.body {
+                    // A dark RA: nothing served, explicit outage rows.
+                    None => {
+                        present[j] = false;
+                        outages.push(RaId(j));
+                        for t in 0..self.period {
+                            for i in 0..n_slices {
+                                self.monitor.record(MonitorRecord::outage(
+                                    round,
+                                    t,
+                                    RaId(j),
+                                    SliceId(i),
+                                ));
+                            }
+                        }
+                    }
+                    Some(body) => {
+                        for (row, &u) in achieved.iter_mut().zip(&body.u) {
+                            row[j] = u;
+                        }
+                        load[j] = body.load.iter().sum();
+                        for record in body.records {
+                            self.monitor.record(record);
+                        }
+                        // Served but reported late: the coordinator treats
+                        // the RA as missing (the late report is superseded
+                        // by the next one).
+                        if rep.deadline_missed {
+                            present[j] = false;
+                        }
+                    }
+                },
+            }
+        }
+        let residuals = self.coordinator.update_partial(&achieved, &present);
+        let slice_performance: Vec<f64> = achieved.iter().map(|row| row.iter().sum()).collect();
+        // Dark intervals are excluded from SLA accounting: the target
+        // shrinks with the fraction of (RA, interval) pairs served.
+        let served_fraction = self
+            .monitor
+            .round_served_fraction(round, self.n_ras, self.period);
+        let sla_met: Vec<bool> = self
+            .slices
+            .iter()
+            .map(|s| slice_performance[s.id.0] >= s.sla.umin * served_fraction - 1e-9)
+            .collect();
+        let usage: Vec<[f64; 3]> = (0..n_slices)
+            .map(|i| self.monitor.round_usage(round, SliceId(i)))
+            .collect();
+        self.report.rounds.push(RoundRecord {
+            round,
+            system_performance: slice_performance.iter().sum(),
+            slice_performance,
+            usage,
+            residuals,
+            sla_met,
+            outages,
+            served_fraction,
+            load,
+        });
+        self.coordinator.converged()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The worker and every type it owns must be shippable to a worker
+    /// thread; this fails to compile if anyone reintroduces non-`Send`
+    /// shared state (the `Send` audit, enforced forever).
+    #[test]
+    fn worker_types_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<RaSliceEnv>();
+        assert_send::<OrchestrationAgent>();
+        assert_send::<RaExecWorker<'_>>();
+        assert_send::<RaRoundBody>();
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<FaultInjector>();
+        assert_sync::<OrchestrationAgent>();
+    }
+}

@@ -51,6 +51,7 @@ mod checkpoint;
 mod coordinator;
 mod env;
 mod error;
+mod exec;
 mod faults;
 mod ids;
 mod managers;
@@ -77,6 +78,10 @@ pub use orchestrator::{
     SystemConfig, TrafficKind,
 };
 pub use overhead::{OverheadModel, RoundTraffic};
+// The execution engine's scheduler is part of the system API (see
+// `EdgeSliceSystem::set_scheduler`); re-export it so downstream users
+// don't need a direct `edgeslice-runtime` dependency.
+pub use edgeslice_runtime::Scheduler;
 pub use perf::{NegServiceTime, PerformanceFunction, QueuePenalty};
 pub use reward::{reward, RewardParams};
 pub use sla::{Sla, SliceSpec};

@@ -6,22 +6,26 @@
 //! fresh `z − y`, iterating until the ADMM residuals converge.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use edgeslice_optim::{project_capacity, AdmmConfig, AdmmResiduals};
 use edgeslice_rl::Technique;
+use edgeslice_runtime::{
+    derive_stream_seed, par_map, Engine, Scheduler, DOMAIN_ORCH, DOMAIN_TRAIN,
+};
 use rand::rngs::StdRng;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use edgeslice_netsim::{
     AppProfile, ComputationModel, DiurnalTrace, FrameResolution, PoissonTraffic, TrafficSource,
 };
 
+use crate::exec::{RaExecWorker, SystemExecCoordinator, WorkerPolicy};
 use crate::{
-    AgentConfig, CoordinationInfo, EdgeSliceError, FaultInjector, FrozenPolicy, MonitorRecord,
-    OrchestrationAgent, PerformanceCoordinator, PerformanceFunction, PolicyCheckpoint,
-    QueuePenalty, RaEnvConfig, RaId, RaSliceEnv, RewardParams, Sla, SliceId, SliceSpec, StateSpec,
-    SystemMonitor,
+    AgentConfig, EdgeSliceError, FaultInjector, OrchestrationAgent, PerformanceCoordinator,
+    PerformanceFunction, QueuePenalty, RaEnvConfig, RaId, RaSliceEnv, RewardParams, Sla, SliceId,
+    SliceSpec, StateSpec, SystemMonitor,
 };
 
 /// Traffic model shared by every (slice, RA) pair.
@@ -193,6 +197,9 @@ pub struct RoundRecord {
     /// Fraction of this round's (RA, interval) pairs that served traffic
     /// (`1.0` in a fault-free round).
     pub served_fraction: f64,
+    /// End-of-round queue backlog per RA (summed over slices; `0.0` for an
+    /// RA whose report never arrived).
+    pub load: Vec<f64>,
 }
 
 /// The full run's outcome.
@@ -230,6 +237,11 @@ impl RunReport {
 }
 
 /// The assembled EdgeSlice system: envs + agents + coordinator + monitor.
+///
+/// All round execution and training is delegated to the
+/// [`edgeslice_runtime`] engine; [`EdgeSliceSystem::set_scheduler`] picks
+/// between the inline reference topology and worker threads. Both produce
+/// bit-identical [`RunReport`]s for the same seed.
 pub struct EdgeSliceSystem {
     config: SystemConfig,
     kind: OrchestratorKind,
@@ -237,7 +249,9 @@ pub struct EdgeSliceSystem {
     agents: Vec<OrchestrationAgent>,
     coordinator: PerformanceCoordinator,
     monitor: SystemMonitor,
-    taro: crate::Taro,
+    scheduler: Scheduler,
+    round_deadline: Duration,
+    straggle_sleep: Duration,
 }
 
 impl std::fmt::Debug for EdgeSliceSystem {
@@ -274,8 +288,38 @@ impl EdgeSliceSystem {
             agents,
             coordinator,
             monitor: SystemMonitor::new(),
-            taro: crate::Taro::new(),
+            scheduler: Scheduler::Sequential,
+            round_deadline: Duration::from_secs(30),
+            straggle_sleep: Duration::ZERO,
         }
+    }
+
+    /// Selects the execution topology for subsequent `run*`/`train*`
+    /// calls. [`Scheduler::Sequential`] (the default) runs every RA inline
+    /// on the caller's thread; [`Scheduler::Threaded`] shards RAs across
+    /// worker threads. Reports are bit-identical either way.
+    pub fn set_scheduler(&mut self, scheduler: Scheduler) {
+        self.scheduler = scheduler;
+    }
+
+    /// The execution topology in effect.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Sets the per-round wall-clock report deadline (default 30 s — a
+    /// liveness backstop that only a hung worker ever misses; injected
+    /// stragglers miss their deadline *logically* via the fault plan, so
+    /// determinism is unaffected).
+    pub fn set_round_deadline(&mut self, deadline: Duration) {
+        self.round_deadline = deadline;
+    }
+
+    /// Makes injected stragglers also sleep for `delay` before reporting,
+    /// so their reports are physically late on the channel (default zero:
+    /// straggling stays purely logical and runs stay fast).
+    pub fn set_straggle_sleep(&mut self, delay: Duration) {
+        self.straggle_sleep = delay;
     }
 
     /// The system configuration.
@@ -295,10 +339,36 @@ impl EdgeSliceSystem {
 
     /// Trains every RA's agent offline for ~`env_steps` interactions each
     /// (randomized coordinating information, Sec. VI-A). No-op for TARO.
+    ///
+    /// Each (agent, env) pair trains on a private RNG stream derived from
+    /// one master seed drawn from `rng`, so training parallelizes across
+    /// RA workers under [`Scheduler::Threaded`] with results identical to
+    /// the sequential schedule.
     pub fn train(&mut self, env_steps: usize, rng: &mut StdRng) {
-        for (agent, env) in self.agents.iter_mut().zip(&mut self.envs) {
-            agent.train(env, env_steps, rng);
+        if self.agents.is_empty() {
+            // TARO trains nothing, but deployment still starts from an
+            // operational baseline (and the caller's rng is untouched).
+            for env in &mut self.envs {
+                env.clear_queues();
+            }
+            return;
         }
+        let master = rng.gen::<u64>();
+        let mut units: Vec<TrainUnit<'_>> = self
+            .agents
+            .iter_mut()
+            .zip(&mut self.envs)
+            .enumerate()
+            .map(|(j, (agent, env))| TrainUnit {
+                agent,
+                env,
+                rng: StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_TRAIN, j as u64)),
+            })
+            .collect();
+        par_map(self.scheduler, &mut units, |_, unit| {
+            unit.agent.train(unit.env, env_steps, &mut unit.rng);
+        });
+        drop(units);
         // Deployment starts from an operational baseline, not whatever
         // backlog the final training episode left behind.
         for env in &mut self.envs {
@@ -314,7 +384,11 @@ impl EdgeSliceSystem {
         if self.agents.is_empty() {
             return;
         }
-        self.agents[0].train(&mut self.envs[0], env_steps, rng);
+        // Same stream derivation as `train` (worker 0's stream), so shared
+        // and per-RA training draw from the same family of streams.
+        let master = rng.gen::<u64>();
+        let mut rng0 = StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_TRAIN, 0));
+        self.agents[0].train(&mut self.envs[0], env_steps, &mut rng0);
         // Re-decide the remaining agents from the trained one's policy by
         // round-tripping through its backend clone.
         let trained = self.agents.remove(0);
@@ -408,141 +482,86 @@ impl EdgeSliceSystem {
     ///
     /// SLA accounting excludes outage intervals: each round's `Umin` is
     /// prorated by the fraction of (RA, interval) pairs that served.
-    #[allow(clippy::needless_range_loop)] // `j` indexes envs, agents and achieved in lockstep
+    ///
+    /// Execution is delegated to the [`edgeslice_runtime`] engine: one
+    /// worker per RA (each with a private RNG stream derived from a master
+    /// seed drawn once from `rng`), folded by a coordinator task. The
+    /// report is bit-identical across schedulers.
     pub fn run_with_faults(
         &mut self,
         max_rounds: usize,
         rng: &mut StdRng,
         injector: &FaultInjector,
     ) -> RunReport {
-        let n_slices = self.config.slices.len();
         let n_ras = self.config.n_ras;
         let period = self.config.reward.period;
         for env in &mut self.envs {
             env.set_randomize_coord(false);
         }
-        let mut report = RunReport::default();
         let start_round = self.monitor.rounds();
-        // Per-RA checkpoints taken at outage start and the frozen policies
-        // restored from them at rejoin (learned kinds only).
-        let mut checkpoints: Vec<Option<PolicyCheckpoint>> = vec![None; n_ras];
-        let mut restored: Vec<Option<FrozenPolicy>> = vec![None; n_ras];
-        let mut was_down = vec![false; n_ras];
-        for round_off in 0..max_rounds {
-            let round = start_round + round_off;
-            let info: CoordinationInfo = self.coordinator.coordination_info();
-            let mut achieved = vec![vec![0.0; n_ras]; n_slices];
-            let mut present = vec![true; n_ras];
-            let mut outages = Vec::new();
-            for j in 0..n_ras {
-                let view = injector.view(RaId(j), round_off);
-                if view.down {
-                    // Outage start: snapshot the policy the RA will be
-                    // re-deployed from when it rejoins.
-                    if !was_down[j] {
-                        if let OrchestratorKind::Learned(_) = self.kind {
-                            if checkpoints[j].is_none() {
-                                checkpoints[j] =
-                                    Some(PolicyCheckpoint::from_agent(&self.agents[j]));
-                            }
-                        }
-                    }
-                    was_down[j] = true;
-                    present[j] = false;
-                    outages.push(RaId(j));
-                    for t in 0..period {
-                        for i in 0..n_slices {
-                            self.monitor.record(MonitorRecord::outage(
-                                round,
-                                t,
-                                RaId(j),
-                                SliceId(i),
-                            ));
-                        }
-                    }
-                    continue;
-                }
-                if view.rejoining || was_down[j] {
-                    // The node rebooted: backlog is gone, and the policy is
-                    // re-deployed from the outage-start checkpoint.
-                    self.envs[j].clear_queues();
-                    if let Some(ckpt) = checkpoints[j].take() {
-                        restored[j] = Some(ckpt.into_frozen_policy(RaId(j)));
-                    }
-                    was_down[j] = false;
-                }
-                let env = &mut self.envs[j];
-                env.set_capacity_scale(view.capacity_scale);
-                if !view.broadcast_dropped {
-                    env.set_coordination(&info.for_ra(RaId(j)));
-                }
-                if view.straggler {
-                    // Served but reported late: the coordinator treats the
-                    // RA as missing this round.
-                    present[j] = false;
-                }
-                for t in 0..period {
-                    let mut action = match self.kind {
-                        OrchestratorKind::Learned(_) => match &restored[j] {
-                            Some(policy) => policy.decide(&env.observe()),
-                            None => self.agents[j].decide(&env.observe()),
-                        },
-                        OrchestratorKind::Taro => self.taro.action(&env.queue_lengths()),
-                    };
-                    if self.config.project_actions {
-                        project_action_per_resource(&mut action, n_slices);
-                    }
-                    let (_, perf) = env.advance(&action, rng);
-                    let shares = env.last_shares();
-                    for i in 0..n_slices {
-                        achieved[i][j] += perf[i];
-                        self.monitor.record(MonitorRecord {
-                            round,
-                            interval: t,
-                            ra: RaId(j),
-                            slice: SliceId(i),
-                            queue: env.queue_lengths()[i],
-                            performance: perf[i],
-                            shares: shares[i].as_array(),
-                            status: crate::IntervalStatus::Served,
-                        });
-                    }
+        let master = rng.gen::<u64>();
+        let project_actions = self.config.project_actions;
+        let straggle_sleep = self.straggle_sleep;
+        let mut workers: Vec<RaExecWorker<'_>> = Vec::with_capacity(n_ras);
+        match self.kind {
+            OrchestratorKind::Learned(_) => {
+                for (j, (env, agent)) in self.envs.iter_mut().zip(&self.agents).enumerate() {
+                    workers.push(RaExecWorker::new(
+                        RaId(j),
+                        env,
+                        WorkerPolicy::Learned(agent),
+                        injector,
+                        StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_ORCH, j as u64)),
+                        period,
+                        project_actions,
+                        start_round,
+                        straggle_sleep,
+                    ));
                 }
             }
-            let residuals = self.coordinator.update_partial(&achieved, &present);
-            let slice_performance: Vec<f64> = achieved.iter().map(|row| row.iter().sum()).collect();
-            // Dark intervals are excluded from SLA accounting: the target
-            // shrinks with the fraction of (RA, interval) pairs served.
-            let served_fraction = self.monitor.round_served_fraction(round, n_ras, period);
-            let sla_met: Vec<bool> = self
-                .config
-                .slices
-                .iter()
-                .map(|s| slice_performance[s.id.0] >= s.sla.umin * served_fraction - 1e-9)
-                .collect();
-            let usage: Vec<[f64; 3]> = (0..n_slices)
-                .map(|i| self.monitor.round_usage(round, SliceId(i)))
-                .collect();
-            report.rounds.push(RoundRecord {
-                round,
-                system_performance: slice_performance.iter().sum(),
-                slice_performance,
-                usage,
-                residuals,
-                sla_met,
-                outages,
-                served_fraction,
-            });
-            if self.coordinator.converged() {
-                break;
+            OrchestratorKind::Taro => {
+                for (j, env) in self.envs.iter_mut().enumerate() {
+                    workers.push(RaExecWorker::new(
+                        RaId(j),
+                        env,
+                        WorkerPolicy::Taro(crate::Taro::new()),
+                        injector,
+                        StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_ORCH, j as u64)),
+                        period,
+                        project_actions,
+                        start_round,
+                        straggle_sleep,
+                    ));
+                }
             }
         }
+        let mut exec = SystemExecCoordinator::new(
+            &mut self.coordinator,
+            &mut self.monitor,
+            &self.config.slices,
+            n_ras,
+            period,
+            start_round,
+        );
+        Engine::new(self.scheduler)
+            .with_deadline(self.round_deadline)
+            .run(&mut workers, &mut exec, max_rounds);
+        let report = exec.report;
+        drop(workers);
         // Leave the substrates healthy for subsequent runs.
         for env in &mut self.envs {
             env.set_capacity_scale([1.0; 3]);
         }
         report
     }
+}
+
+/// One RA's training bundle: agent + env + private RNG stream, shippable
+/// to a worker thread as a unit.
+struct TrainUnit<'a> {
+    agent: &'a mut OrchestrationAgent,
+    env: &'a mut RaSliceEnv,
+    rng: StdRng,
 }
 
 /// Projects a flat slice-major action onto per-resource capacity

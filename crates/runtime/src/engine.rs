@@ -1,0 +1,442 @@
+//! The round-based executor: a coordinator task driving RA workers either
+//! inline (sequential) or across worker threads with typed `mpsc`
+//! channels and per-round deadlines.
+
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+use crate::msg::{Control, CoordInfo, RaReport};
+use crate::Scheduler;
+
+/// One resource autonomy's execution state: everything the RA needs to run
+/// a coordination round locally (policy, environment, private RNG stream,
+/// fault view, checkpoints). Implementations must be [`Send`] so a worker
+/// can live on its own thread; they must *not* share mutable state with
+/// any other worker — cross-RA communication goes through the coordinator.
+pub trait RoundWorker: Send {
+    /// The round-outcome payload carried back in [`RaReport::body`].
+    type Body: Send;
+
+    /// The RA index this worker serves. Workers handed to
+    /// [`Engine::run`] must be sorted so `workers[j].ra() == j`.
+    fn ra(&self) -> usize;
+
+    /// Runs one coordination round under `info` and reports the outcome.
+    fn run_round(&mut self, info: &CoordInfo) -> RaReport<Self::Body>;
+
+    /// Handles a control message (checkpoint, rejoin re-sync, shutdown).
+    fn handle_control(&mut self, _ctl: &Control) {}
+}
+
+/// The coordinator side of the round protocol: produce the downstream
+/// broadcast, fold the upstream reports. Runs on the caller's thread.
+pub trait RoundCoordinator {
+    /// The round-outcome payload consumed from [`RaReport::body`].
+    type Body;
+
+    /// The per-RA `z − y` payloads for `round` (indexed by RA).
+    fn broadcast(&mut self, round: usize) -> Vec<Vec<f64>>;
+
+    /// Folds this round's reports, indexed by RA. `None` means the RA's
+    /// report missed the round's wall-clock deadline entirely (it will be
+    /// dropped as stale if it straggles in later). Returns `true` to stop
+    /// the run (e.g. on convergence).
+    fn collect(&mut self, round: usize, reports: Vec<Option<RaReport<Self::Body>>>) -> bool;
+}
+
+/// Commands sent to a worker thread.
+enum ToWorker {
+    /// Run one round for each addressed RA on this thread.
+    Round(Vec<CoordInfo>),
+    /// A control message for every RA on this thread.
+    Control(Control),
+}
+
+/// The round-based execution engine. See the crate docs for the
+/// determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    scheduler: Scheduler,
+    deadline: Duration,
+}
+
+impl Engine {
+    /// An engine on `scheduler` with the default 30 s per-round deadline —
+    /// generous enough that only a hung worker ever misses it, which keeps
+    /// healthy runs deterministic across schedulers.
+    pub fn new(scheduler: Scheduler) -> Self {
+        Self {
+            scheduler,
+            deadline: Duration::from_secs(30),
+        }
+    }
+
+    /// Sets the per-round report deadline. Reports not received within it
+    /// are handed to the coordinator as missing; tighten it to make slow
+    /// workers *actually* lose rounds instead of stalling the system.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The scheduler in effect.
+    pub fn scheduler(&self) -> Scheduler {
+        self.scheduler
+    }
+
+    /// Runs up to `max_rounds` coordination rounds over `workers`, driving
+    /// `coord` on the calling thread. Returns the number of rounds run
+    /// (possibly fewer than `max_rounds` if `coord` stopped early).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers[j].ra() != j` for some `j` (the report
+    /// collection indexes slots by RA).
+    pub fn run<W, C>(&self, workers: &mut [W], coord: &mut C, max_rounds: usize) -> usize
+    where
+        W: RoundWorker,
+        C: RoundCoordinator<Body = W::Body>,
+    {
+        for (j, w) in workers.iter().enumerate() {
+            assert_eq!(w.ra(), j, "workers must be sorted by RA index");
+        }
+        if workers.is_empty() || max_rounds == 0 {
+            return 0;
+        }
+        match self.scheduler {
+            Scheduler::Sequential => self.run_sequential(workers, coord, max_rounds),
+            Scheduler::Threaded(_) => self.run_threaded(workers, coord, max_rounds),
+        }
+    }
+
+    /// The reference topology: every worker inline, in RA order.
+    fn run_sequential<W, C>(&self, workers: &mut [W], coord: &mut C, max_rounds: usize) -> usize
+    where
+        W: RoundWorker,
+        C: RoundCoordinator<Body = W::Body>,
+    {
+        let mut rounds_run = 0;
+        for round in 0..max_rounds {
+            let zys = coord.broadcast(round);
+            let reports = workers
+                .iter_mut()
+                .enumerate()
+                .map(|(j, w)| {
+                    let info = CoordInfo {
+                        round,
+                        ra: j,
+                        zy: zys[j].clone(),
+                    };
+                    Some(w.run_round(&info))
+                })
+                .collect();
+            rounds_run = round + 1;
+            if coord.collect(round, reports) {
+                break;
+            }
+        }
+        for w in workers.iter_mut() {
+            w.handle_control(&Control::Shutdown);
+        }
+        rounds_run
+    }
+
+    /// The decentralized topology: worker threads own contiguous RA
+    /// shards; the coordinator broadcasts, then gathers reports from a
+    /// shared channel under the per-round deadline.
+    fn run_threaded<W, C>(&self, workers: &mut [W], coord: &mut C, max_rounds: usize) -> usize
+    where
+        W: RoundWorker,
+        C: RoundCoordinator<Body = W::Body>,
+    {
+        let n = workers.len();
+        let n_threads = self.scheduler.threads(n);
+        let chunk_size = n.div_ceil(n_threads.max(1));
+        std::thread::scope(|s| {
+            let (rep_tx, rep_rx) = mpsc::channel::<RaReport<W::Body>>();
+            let mut cmd_txs = Vec::with_capacity(n_threads);
+            for shard in workers.chunks_mut(chunk_size) {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<ToWorker>();
+                cmd_txs.push(cmd_tx);
+                let rep_tx = rep_tx.clone();
+                s.spawn(move || worker_loop(shard, &cmd_rx, &rep_tx));
+            }
+            drop(rep_tx);
+
+            let mut rounds_run = 0;
+            for round in 0..max_rounds {
+                let zys = coord.broadcast(round);
+                for (ci, cmd_tx) in cmd_txs.iter().enumerate() {
+                    let lo = ci * chunk_size;
+                    let hi = (lo + chunk_size).min(n);
+                    let infos = (lo..hi)
+                        .map(|j| CoordInfo {
+                            round,
+                            ra: j,
+                            zy: zys[j].clone(),
+                        })
+                        .collect();
+                    // A dead thread surfaces as missing reports below.
+                    let _ = cmd_tx.send(ToWorker::Round(infos));
+                }
+
+                let mut slots: Vec<Option<RaReport<W::Body>>> = (0..n).map(|_| None).collect();
+                let mut received = 0;
+                let deadline = Instant::now() + self.deadline;
+                while received < n {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    match rep_rx.recv_timeout(remaining) {
+                        Ok(rep) if rep.round == round && rep.ra < n && slots[rep.ra].is_none() => {
+                            let ra = rep.ra;
+                            slots[ra] = Some(rep);
+                            received += 1;
+                        }
+                        // A stale report from a worker that missed an
+                        // earlier deadline: superseded, drop it.
+                        Ok(_) => {}
+                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                            break;
+                        }
+                    }
+                }
+                rounds_run = round + 1;
+                if coord.collect(round, slots) {
+                    break;
+                }
+            }
+            for cmd_tx in &cmd_txs {
+                let _ = cmd_tx.send(ToWorker::Control(Control::Shutdown));
+            }
+            rounds_run
+        })
+    }
+}
+
+/// The per-thread worker loop: serve round commands for this thread's RA
+/// shard until shutdown (explicit, or the command channel closing).
+fn worker_loop<W: RoundWorker>(
+    shard: &mut [W],
+    cmd_rx: &Receiver<ToWorker>,
+    rep_tx: &Sender<RaReport<W::Body>>,
+) {
+    let base = shard.first().map_or(0, RoundWorker::ra);
+    loop {
+        match cmd_rx.recv() {
+            Ok(ToWorker::Round(infos)) => {
+                for info in infos {
+                    let report = shard[info.ra - base].run_round(&info);
+                    if rep_tx.send(report).is_err() {
+                        return; // Coordinator gone; nothing left to serve.
+                    }
+                }
+            }
+            Ok(ToWorker::Control(Control::Shutdown)) | Err(_) => {
+                for w in shard.iter_mut() {
+                    w.handle_control(&Control::Shutdown);
+                }
+                return;
+            }
+            Ok(ToWorker::Control(ctl)) => {
+                for w in shard.iter_mut() {
+                    w.handle_control(&ctl);
+                }
+            }
+        }
+    }
+}
+
+/// A deterministic, order-preserving parallel map: applies `f` to every
+/// item, inline for [`Scheduler::Sequential`] and across scoped threads
+/// (contiguous chunks) for [`Scheduler::Threaded`]. `f` receives the
+/// item's global index so callers can derive per-item RNG streams; because
+/// items never share state, the result is identical under every scheduler.
+///
+/// This is the primitive behind parallel per-RA training.
+pub fn par_map<T, F>(scheduler: Scheduler, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n_threads = scheduler.threads(items.len());
+    if n_threads <= 1 {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk_size = items.len().div_ceil(n_threads);
+    std::thread::scope(|s| {
+        for (ci, chunk) in items.chunks_mut(chunk_size).enumerate() {
+            let f = &f;
+            s.spawn(move || {
+                for (k, item) in chunk.iter_mut().enumerate() {
+                    f(ci * chunk_size + k, item);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic toy worker: echoes a transform of the broadcast.
+    struct EchoWorker {
+        ra: usize,
+        /// Pretend-PRNG state, advanced once per round.
+        state: u64,
+        /// Rounds this worker is "down" (reports `body: None`).
+        dark: Vec<usize>,
+        /// Rounds this worker straggles (flags `deadline_missed`).
+        late: Vec<usize>,
+    }
+
+    impl RoundWorker for EchoWorker {
+        type Body = (u64, Vec<f64>);
+
+        fn ra(&self) -> usize {
+            self.ra
+        }
+
+        fn run_round(&mut self, info: &CoordInfo) -> RaReport<Self::Body> {
+            if self.dark.contains(&info.round) {
+                return RaReport {
+                    ra: self.ra,
+                    round: info.round,
+                    deadline_missed: false,
+                    body: None,
+                };
+            }
+            self.state = crate::derive_stream_seed(self.state, crate::DOMAIN_ORCH, 1);
+            RaReport {
+                ra: self.ra,
+                round: info.round,
+                deadline_missed: self.late.contains(&info.round),
+                body: Some((self.state, info.zy.clone())),
+            }
+        }
+    }
+
+    /// Records everything it sees, byte-comparably.
+    #[derive(Default)]
+    struct RecordingCoordinator {
+        n_ras: usize,
+        log: Vec<String>,
+        stop_after: Option<usize>,
+    }
+
+    impl RoundCoordinator for RecordingCoordinator {
+        type Body = (u64, Vec<f64>);
+
+        fn broadcast(&mut self, round: usize) -> Vec<Vec<f64>> {
+            (0..self.n_ras)
+                .map(|j| vec![round as f64, j as f64])
+                .collect()
+        }
+
+        fn collect(&mut self, round: usize, reports: Vec<Option<RaReport<Self::Body>>>) -> bool {
+            for (j, rep) in reports.iter().enumerate() {
+                self.log.push(format!("{round}/{j}: {rep:?}"));
+            }
+            self.stop_after.is_some_and(|r| round + 1 >= r)
+        }
+    }
+
+    fn workers(n: usize) -> Vec<EchoWorker> {
+        (0..n)
+            .map(|j| EchoWorker {
+                ra: j,
+                state: j as u64,
+                dark: if j == 1 { vec![2, 3] } else { vec![] },
+                late: if j == 0 { vec![1] } else { vec![] },
+            })
+            .collect()
+    }
+
+    fn run_with(scheduler: Scheduler, n: usize, rounds: usize) -> Vec<String> {
+        let mut ws = workers(n);
+        let mut coord = RecordingCoordinator {
+            n_ras: n,
+            ..Default::default()
+        };
+        let ran = Engine::new(scheduler).run(&mut ws, &mut coord, rounds);
+        assert_eq!(ran, rounds);
+        coord.log
+    }
+
+    #[test]
+    fn threaded_matches_sequential_bit_for_bit() {
+        let baseline = run_with(Scheduler::Sequential, 5, 6);
+        for threads in [1, 2, 3, 5, 8] {
+            assert_eq!(
+                run_with(Scheduler::Threaded(threads), 5, 6),
+                baseline,
+                "threaded({threads}) diverged from sequential"
+            );
+        }
+    }
+
+    #[test]
+    fn early_stop_respected_by_both_schedulers() {
+        for scheduler in [Scheduler::Sequential, Scheduler::Threaded(2)] {
+            let mut ws = workers(3);
+            let mut coord = RecordingCoordinator {
+                n_ras: 3,
+                stop_after: Some(2),
+                ..Default::default()
+            };
+            let ran = Engine::new(scheduler).run(&mut ws, &mut coord, 10);
+            assert_eq!(ran, 2, "{scheduler}: wrong round count");
+        }
+    }
+
+    #[test]
+    fn workers_must_be_sorted_by_ra() {
+        let mut ws = workers(2);
+        ws.swap(0, 1);
+        let mut coord = RecordingCoordinator {
+            n_ras: 2,
+            ..Default::default()
+        };
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Engine::new(Scheduler::Sequential).run(&mut ws, &mut coord, 1)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_map_is_scheduler_invariant() {
+        let run = |scheduler| {
+            let mut items: Vec<u64> = (0..17).map(|i| i * 3).collect();
+            par_map(scheduler, &mut items, |i, v| {
+                *v = crate::derive_stream_seed(*v, crate::DOMAIN_TRAIN, i as u64);
+            });
+            items
+        };
+        let baseline = run(Scheduler::Sequential);
+        for threads in [1, 2, 4, 16, 32] {
+            assert_eq!(run(Scheduler::Threaded(threads)), baseline);
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_round_runs_are_no_ops() {
+        let mut ws: Vec<EchoWorker> = Vec::new();
+        let mut coord = RecordingCoordinator::default();
+        assert_eq!(
+            Engine::new(Scheduler::Threaded(4)).run(&mut ws, &mut coord, 5),
+            0
+        );
+        let mut ws = workers(2);
+        let mut coord = RecordingCoordinator {
+            n_ras: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            Engine::new(Scheduler::Sequential).run(&mut ws, &mut coord, 0),
+            0
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! # edgeslice-runtime
+//!
+//! The decentralized execution engine underneath
+//! `edgeslice::EdgeSliceSystem`: each resource autonomy's orchestration
+//! agent runs on its own worker thread and exchanges typed messages with a
+//! coordinator task over `mpsc` channels, exactly mirroring the paper's
+//! deployment story (one agent per RA, a lightweight central performance
+//! coordinator, `z − y` broadcasts downstream and `Σ_t U` reports
+//! upstream).
+//!
+//! The engine is deliberately generic: it knows nothing about ADMM, DDPG
+//! or network slicing. It owns three concerns and nothing else:
+//!
+//! 1. **Topology** — a [`Scheduler`] picks between a single-threaded
+//!    in-process loop ([`Scheduler::Sequential`]) and `n` worker threads
+//!    ([`Scheduler::Threaded`]) multiplexing the RA workers. Both drive
+//!    the *same* round protocol, so a parallel run is bit-identical to a
+//!    sequential one whenever workers draw randomness from their own
+//!    [`derive_stream_seed`]-derived streams.
+//! 2. **The round protocol** — per round the coordinator broadcasts one
+//!    [`CoordInfo`] per RA, every worker runs its round and answers with a
+//!    [`RaReport`], and the coordinator folds the reports into its next
+//!    update. [`Control`] messages handle checkpointing, rejoin re-sync
+//!    and shutdown.
+//! 3. **Deadlines** — the coordinator waits at most
+//!    [`Engine::with_deadline`] per round for the report channel. A report
+//!    that misses the wall-clock deadline (a hung or genuinely slow
+//!    worker) is dropped as stale when it finally arrives, and the RA is
+//!    handed to the caller as *missing* — the degraded-coordination path
+//!    is a real missed message, not a simulated flag. Injected stragglers
+//!    additionally mark their reports [`RaReport::deadline_missed`] so
+//!    fault schedules stay deterministic across schedulers.
+//!
+//! Determinism contract: with per-worker RNG streams, no wall-clock
+//! deadline expiry, and deterministic workers, `Sequential` and
+//! `Threaded(n)` produce identical report sequences for every `n`.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod engine;
+mod msg;
+mod seed;
+
+pub use engine::{par_map, Engine, RoundCoordinator, RoundWorker};
+pub use msg::{Control, CoordInfo, RaReport};
+pub use seed::{derive_stream_seed, DOMAIN_FAULTS, DOMAIN_ORCH, DOMAIN_TRAIN};
+
+/// How the engine maps RA workers onto OS threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Run every worker inline on the caller's thread, in RA order. The
+    /// reference topology: zero concurrency, zero channels.
+    Sequential,
+    /// Run workers on `n` dedicated threads (capped at the worker count),
+    /// each owning a contiguous shard of RAs, with `mpsc` channels to the
+    /// coordinator task. `Threaded(1)` is the protocol with all its
+    /// messaging but no parallelism — useful for isolating channel bugs.
+    Threaded(usize),
+}
+
+impl Scheduler {
+    /// A threaded scheduler sized to the host's available parallelism
+    /// (falling back to `Sequential` on single-core hosts).
+    pub fn auto() -> Self {
+        match std::thread::available_parallelism() {
+            Ok(n) if n.get() > 1 => Scheduler::Threaded(n.get()),
+            _ => Scheduler::Sequential,
+        }
+    }
+
+    /// The number of worker threads this scheduler would spawn for
+    /// `n_workers` RAs (0 for `Sequential`).
+    pub fn threads(&self, n_workers: usize) -> usize {
+        match *self {
+            Scheduler::Sequential => 0,
+            Scheduler::Threaded(n) => n.max(1).min(n_workers),
+        }
+    }
+}
+
+impl std::fmt::Display for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Scheduler::Sequential => write!(f, "sequential"),
+            Scheduler::Threaded(n) => write!(f, "threaded({n})"),
+        }
+    }
+}

@@ -1,14 +1,33 @@
 //! Quickstart: train EdgeSlice on the prototype configuration and compare
 //! it with the TARO baseline (a miniature of Fig. 6a).
 //!
-//! Run with: `cargo run --release --example quickstart`
+//! Run with: `cargo run --release --example quickstart [-- --workers N]`
+//!
+//! `--workers N` runs each RA's agent on its own worker thread (training
+//! and coordination rounds); the results are bit-identical to the default
+//! sequential execution.
 
-use edgeslice::{AgentConfig, EdgeSliceSystem, OrchestratorKind, SystemConfig};
+use edgeslice::{AgentConfig, EdgeSliceSystem, OrchestratorKind, Scheduler, SystemConfig};
 use edgeslice_rl::Technique;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn scheduler_from_args() -> Scheduler {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == "--workers" {
+            let n = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--workers takes a positive integer");
+            return Scheduler::Threaded(n);
+        }
+    }
+    Scheduler::Sequential
+}
+
 fn main() {
+    let scheduler = scheduler_from_args();
     let mut rng = StdRng::seed_from_u64(7);
 
     // EdgeSlice: 2 slices, 2 RAs, DDPG agents under ADMM coordination.
@@ -18,7 +37,8 @@ fn main() {
         &AgentConfig::default(),
         &mut rng,
     );
-    println!("training orchestration agents (scaled-down schedule)...");
+    edgeslice.set_scheduler(scheduler);
+    println!("training orchestration agents (scaled-down schedule, {scheduler})...");
     edgeslice.train(8_000, &mut rng);
     let report = edgeslice.run(10, &mut rng);
 

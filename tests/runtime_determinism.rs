@@ -1,0 +1,202 @@
+//! Scheduler-invariance: a threaded run must be **bit-identical** to the
+//! sequential reference — same seeds in, same `RunReport` JSON out — with
+//! and without injected faults, for both TARO and learned systems.
+
+use edgeslice::{
+    AgentConfig, EdgeSliceSystem, FaultEvent, FaultInjector, FaultPlan, OrchestratorKind, RaId,
+    ResourceKind, RunReport, Scheduler, SystemConfig,
+};
+use edgeslice_rl::Technique;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_agent_config() -> AgentConfig {
+    AgentConfig {
+        ddpg: edgeslice_rl::DdpgConfig {
+            hidden: 16,
+            batch_size: 32,
+            warmup: 50,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// A fault plan exercising every degradation path: a straggler streak, a
+/// multi-round RA outage followed by a rejoin, a dropped broadcast, and a
+/// capacity dip.
+fn stress_plan(rounds: usize) -> FaultPlan {
+    FaultPlan::scripted(
+        2,
+        rounds,
+        vec![
+            FaultEvent::Straggler {
+                ra: RaId(0),
+                round: 1,
+            },
+            FaultEvent::RaOutage {
+                ra: RaId(1),
+                start_round: 1,
+                rounds: 2,
+            },
+            FaultEvent::BroadcastDrop {
+                ra: RaId(0),
+                round: 2,
+            },
+            FaultEvent::CapacityDegradation {
+                ra: RaId(1),
+                domain: ResourceKind::Computing,
+                start_round: 3,
+                rounds: 1,
+                factor: 0.5,
+            },
+        ],
+    )
+    .expect("scripted plan is valid")
+}
+
+/// Builds a system, optionally trains it, runs it under `injector`, and
+/// returns the report's JSON (the byte-comparable artifact) alongside the
+/// report itself. Everything is seeded identically per call so the only
+/// variable is the scheduler.
+fn run_report(
+    kind: OrchestratorKind,
+    scheduler: Scheduler,
+    seed: u64,
+    rounds: usize,
+    train_steps: usize,
+    faults: Option<&FaultPlan>,
+) -> (String, RunReport) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = SystemConfig::prototype();
+    let mut sys = EdgeSliceSystem::new(config, kind, &quick_agent_config(), &mut rng);
+    sys.set_scheduler(scheduler);
+    if train_steps > 0 {
+        sys.train(train_steps, &mut rng);
+    }
+    let report = match faults {
+        Some(plan) => {
+            let injector = FaultInjector::new(plan.clone());
+            sys.run_with_faults(rounds, &mut rng, &injector)
+        }
+        None => sys.run(rounds, &mut rng),
+    };
+    (report.to_json().expect("report serializes"), report)
+}
+
+#[test]
+fn taro_threaded_matches_sequential_bitwise() {
+    for seed in [7, 42] {
+        let (sequential, _) = run_report(
+            OrchestratorKind::Taro,
+            Scheduler::Sequential,
+            seed,
+            5,
+            0,
+            None,
+        );
+        for threads in [1, 2, 4] {
+            let (threaded, _) = run_report(
+                OrchestratorKind::Taro,
+                Scheduler::Threaded(threads),
+                seed,
+                5,
+                0,
+                None,
+            );
+            assert_eq!(
+                threaded, sequential,
+                "threaded({threads}) diverged from sequential at seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn taro_threaded_matches_sequential_under_faults() {
+    let plan = stress_plan(6);
+    let (sequential, report) = run_report(
+        OrchestratorKind::Taro,
+        Scheduler::Sequential,
+        11,
+        6,
+        0,
+        Some(&plan),
+    );
+    // The faulted report must actually exercise the fault paths, or this
+    // test proves nothing.
+    assert!(
+        report.rounds.iter().any(|r| !r.outages.is_empty()),
+        "stress plan produced no outages"
+    );
+    assert!(
+        report.rounds.iter().any(|r| r.served_fraction < 1.0),
+        "stress plan produced no dark intervals"
+    );
+    for threads in [2, 4] {
+        let (threaded, _) = run_report(
+            OrchestratorKind::Taro,
+            Scheduler::Threaded(threads),
+            11,
+            6,
+            0,
+            Some(&plan),
+        );
+        assert_eq!(
+            threaded, sequential,
+            "threaded({threads}) diverged from sequential under faults"
+        );
+    }
+}
+
+#[test]
+fn learned_threaded_matches_sequential_including_training() {
+    // Training runs through `par_map` and the run through the engine, so
+    // this covers scheduler invariance of *both* phases end to end, plus
+    // the checkpoint/rejoin machinery under faults.
+    let plan = stress_plan(4);
+    let kind = OrchestratorKind::Learned(Technique::Ddpg);
+    let (sequential, _) = run_report(kind, Scheduler::Sequential, 3, 4, 300, Some(&plan));
+    let (threaded, _) = run_report(kind, Scheduler::Threaded(4), 3, 4, 300, Some(&plan));
+    assert_eq!(
+        threaded, sequential,
+        "learned run diverged across schedulers"
+    );
+}
+
+#[test]
+fn distinct_seeds_still_produce_distinct_reports() {
+    // Guard against the degenerate "determinism" of ignoring the seed.
+    let (a, _) = run_report(
+        OrchestratorKind::Taro,
+        Scheduler::Threaded(2),
+        7,
+        3,
+        0,
+        None,
+    );
+    let (b, _) = run_report(
+        OrchestratorKind::Taro,
+        Scheduler::Threaded(2),
+        8,
+        3,
+        0,
+        None,
+    );
+    assert_ne!(a, b);
+}
+
+#[test]
+fn oversubscribed_thread_count_is_harmless() {
+    // More threads than RAs: the scheduler clamps to the worker count.
+    let (sequential, _) = run_report(OrchestratorKind::Taro, Scheduler::Sequential, 9, 3, 0, None);
+    let (threaded, _) = run_report(
+        OrchestratorKind::Taro,
+        Scheduler::Threaded(64),
+        9,
+        3,
+        0,
+        None,
+    );
+    assert_eq!(threaded, sequential);
+}
