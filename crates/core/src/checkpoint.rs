@@ -36,6 +36,10 @@ enum Decode {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PolicyCheckpoint {
+    /// Serialization format version; [`PolicyCheckpoint::from_json`]
+    /// rejects values other than [`POLICY_CHECKPOINT_VERSION`] (and, via
+    /// the missing-field decode error, pre-versioned JSON without it).
+    version: u32,
     technique: String,
     state_dim: usize,
     action_dim: usize,
@@ -43,13 +47,33 @@ pub struct PolicyCheckpoint {
     network: Mlp,
 }
 
+/// The checkpoint format version this build reads and writes.
+pub const POLICY_CHECKPOINT_VERSION: u32 = 1;
+
 /// Errors from checkpoint (de)serialization.
 #[derive(Debug)]
-pub struct CheckpointError(String);
+pub enum CheckpointError {
+    /// The JSON was syntactically or structurally invalid.
+    Malformed(String),
+    /// The JSON parsed but declares a format version this build does not
+    /// understand — failing loudly instead of deserializing garbage.
+    UnsupportedVersion {
+        /// Version declared by the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+}
 
 impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "checkpoint error: {}", self.0)
+        match self {
+            CheckpointError::Malformed(msg) => write!(f, "checkpoint error: {msg}"),
+            CheckpointError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "checkpoint error: unsupported format version {found} (this build reads {supported})"
+            ),
+        }
     }
 }
 
@@ -82,12 +106,18 @@ impl PolicyCheckpoint {
             }
         };
         Self {
+            version: POLICY_CHECKPOINT_VERSION,
             technique: agent.technique().label().to_string(),
             state_dim: network.in_dim(),
             action_dim,
             decode,
             network,
         }
+    }
+
+    /// The format version this checkpoint was written with.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The training technique the policy came from.
@@ -128,16 +158,27 @@ impl PolicyCheckpoint {
     /// Returns an error if serialization fails (practically impossible for
     /// this structure).
     pub fn to_json(&self) -> Result<String, CheckpointError> {
-        serde_json::to_string(self).map_err(|e| CheckpointError(e.to_string()))
+        serde_json::to_string(self).map_err(|e| CheckpointError::Malformed(e.to_string()))
     }
 
     /// Restores from JSON.
     ///
     /// # Errors
     ///
-    /// Returns an error on malformed input.
+    /// Returns [`CheckpointError::Malformed`] on invalid input (including
+    /// pre-versioned JSON with no `version` field) and
+    /// [`CheckpointError::UnsupportedVersion`] when the `version` field
+    /// names a format this build does not read.
     pub fn from_json(json: &str) -> Result<Self, CheckpointError> {
-        serde_json::from_str(json).map_err(|e| CheckpointError(e.to_string()))
+        let ckpt: Self =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        if ckpt.version != POLICY_CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: ckpt.version,
+                supported: POLICY_CHECKPOINT_VERSION,
+            });
+        }
+        Ok(ckpt)
     }
 
     /// Rehydrates the checkpoint as a deployable frozen agent for `ra`.
@@ -165,6 +206,12 @@ impl FrozenPolicy {
     /// The greedy action for a state.
     pub fn decide(&self, state: &[f64]) -> Vec<f64> {
         self.checkpoint.decide(state)
+    }
+
+    /// The underlying checkpoint (e.g. to re-checkpoint an RA that is
+    /// already running a restored policy).
+    pub fn checkpoint(&self) -> &PolicyCheckpoint {
+        &self.checkpoint
     }
 }
 
@@ -232,6 +279,41 @@ mod tests {
 
     #[test]
     fn malformed_json_is_an_error() {
-        assert!(PolicyCheckpoint::from_json("{not json").is_err());
+        assert!(matches!(
+            PolicyCheckpoint::from_json("{not json"),
+            Err(CheckpointError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_format_versions_fail_loudly() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let e = env();
+        let agent = OrchestrationAgent::new(
+            RaId(0),
+            Technique::Ddpg,
+            &e,
+            &AgentConfig::default(),
+            &mut rng,
+        );
+        let json = PolicyCheckpoint::from_agent(&agent).to_json().unwrap();
+        let current = format!("\"version\":{POLICY_CHECKPOINT_VERSION}");
+        assert!(json.contains(&current), "version field must be serialized");
+
+        // A future version must be rejected, not half-deserialized.
+        let future = format!("\"version\":{}", POLICY_CHECKPOINT_VERSION + 1);
+        let err = PolicyCheckpoint::from_json(&json.replacen(&current, &future, 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            CheckpointError::UnsupportedVersion { found, supported }
+                if found == POLICY_CHECKPOINT_VERSION + 1
+                    && supported == POLICY_CHECKPOINT_VERSION
+        ));
+
+        // Pre-versioned JSON (no `version` field) is rejected too.
+        let legacy = json.replacen(&format!("{current},"), "", 1);
+        assert!(!legacy.contains("version"));
+        let err = PolicyCheckpoint::from_json(&legacy).unwrap_err();
+        assert!(matches!(err, CheckpointError::Malformed(_)));
     }
 }

@@ -45,6 +45,33 @@ impl CoordinationInfo {
     }
 }
 
+/// The complete mutable state of a [`PerformanceCoordinator`], as captured
+/// by a durable run snapshot: the ADMM iterates (`z`, `y`), the
+/// degraded-coordination bookkeeping (last-known reports, staleness
+/// counters, dead flags), the residual history driving convergence checks,
+/// and the tunable knobs. The static shape (SLAs, RA count, ADMM config)
+/// is *not* stored — it is rebuilt from the system configuration and
+/// validated against the snapshot on restore.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoordinatorState {
+    /// Auxiliary variables `z`, `[slice][ra]`.
+    pub z: Vec<Vec<f64>>,
+    /// Scaled duals `y`, `[slice][ra]`.
+    pub y: Vec<Vec<f64>>,
+    /// Last report received per RA, `[slice][ra]`.
+    pub last_known: Vec<Vec<f64>>,
+    /// Consecutive silent rounds per RA.
+    pub staleness: Vec<usize>,
+    /// Dead flags per RA.
+    pub dead: Vec<bool>,
+    /// Residuals of every completed round, in order.
+    pub residual_history: Vec<AdmmResiduals>,
+    /// The dual safeguard bound in effect.
+    pub dual_clamp: f64,
+    /// The staleness budget in effect, rounds.
+    pub staleness_budget: usize,
+}
+
 /// The performance coordinator.
 #[derive(Debug, Clone)]
 pub struct PerformanceCoordinator {
@@ -292,6 +319,61 @@ impl PerformanceCoordinator {
         self.tracker.rounds()
     }
 
+    /// Captures the complete mutable state for a durable snapshot.
+    pub fn snapshot(&self) -> CoordinatorState {
+        CoordinatorState {
+            z: self.z.clone(),
+            y: self.y.clone(),
+            last_known: self.last_known.clone(),
+            staleness: self.staleness.clone(),
+            dead: self.dead.clone(),
+            residual_history: self.tracker.history().to_vec(),
+            dual_clamp: self.dual_clamp,
+            staleness_budget: self.staleness_budget,
+        }
+    }
+
+    /// Restores the mutable state captured by [`PerformanceCoordinator::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EdgeSliceError::SnapshotMismatch`] when the state's
+    /// dimensions disagree with this coordinator's slice/RA counts.
+    pub fn restore(&mut self, state: &CoordinatorState) -> Result<(), crate::EdgeSliceError> {
+        let n_slices = self.slas.len();
+        let shape_ok = state.z.len() == n_slices
+            && state.y.len() == n_slices
+            && state.last_known.len() == n_slices
+            && state
+                .z
+                .iter()
+                .chain(&state.y)
+                .chain(&state.last_known)
+                .all(|row| row.len() == self.n_ras)
+            && state.staleness.len() == self.n_ras
+            && state.dead.len() == self.n_ras;
+        if !shape_ok {
+            return Err(crate::EdgeSliceError::SnapshotMismatch {
+                reason: format!(
+                    "coordinator state shaped for {}x{} does not fit {}x{} (slices x RAs)",
+                    state.z.len(),
+                    state.z.first().map_or(0, Vec::len),
+                    n_slices,
+                    self.n_ras
+                ),
+            });
+        }
+        self.z = state.z.clone();
+        self.y = state.y.clone();
+        self.last_known = state.last_known.clone();
+        self.staleness = state.staleness.clone();
+        self.dead = state.dead.clone();
+        self.tracker = ConvergenceTracker::from_history(state.residual_history.clone());
+        self.dual_clamp = state.dual_clamp;
+        self.staleness_budget = state.staleness_budget;
+        Ok(())
+    }
+
     /// Whether slice `i`'s SLA is met by the achieved performance.
     pub fn sla_met(&self, slice: SliceId, achieved: &[Vec<f64>]) -> bool {
         let total: f64 = achieved[slice.0].iter().sum();
@@ -451,6 +533,40 @@ mod tests {
         // round's ascent; after one ascent they are small relative to the
         // survivor's accumulated duals.
         assert!(c.y()[0][1].abs() <= c.y()[0][0].abs() + 1e-9);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_validates_shape() {
+        let mut c = coordinator();
+        c.set_staleness_budget(2);
+        let achieved = vec![vec![-100.0, -80.0], vec![-10.0, -5.0]];
+        c.update(&achieved);
+        c.update_partial(&achieved, &[true, false]);
+        let state = c.snapshot();
+
+        let mut fresh = coordinator();
+        fresh.restore(&state).unwrap();
+        assert_eq!(fresh.z(), c.z());
+        assert_eq!(fresh.y(), c.y());
+        assert_eq!(fresh.rounds(), c.rounds());
+        assert_eq!(fresh.staleness(RaId(1)), c.staleness(RaId(1)));
+        assert_eq!(fresh.staleness_budget(), 2);
+        assert_eq!(fresh.snapshot(), state);
+
+        // The restored coordinator continues exactly as the original.
+        let next = vec![vec![-90.0, -70.0], vec![-8.0, -4.0]];
+        let ra = c.update_partial(&next, &[true, true]);
+        let rb = fresh.update_partial(&next, &[true, true]);
+        assert_eq!(ra, rb);
+        assert_eq!(fresh.z(), c.z());
+        assert_eq!(fresh.y(), c.y());
+
+        // A state shaped for a different system is rejected, not applied.
+        let mut small = PerformanceCoordinator::new(&[Sla::new(-50.0)], 1, AdmmConfig::default());
+        assert!(matches!(
+            small.restore(&state),
+            Err(crate::EdgeSliceError::SnapshotMismatch { .. })
+        ));
     }
 
     #[test]

@@ -303,6 +303,39 @@ impl RaSliceEnv {
         }
     }
 
+    /// The per-slice service queues, for durable snapshots. Together with
+    /// [`RaSliceEnv::coordination`] and [`RaSliceEnv::global_t`] this is
+    /// the complete round-boundary state of the environment: `observe`
+    /// reads only queues + coordination, and traffic draws are a pure
+    /// function of `global_t` plus the domain-separated round stream.
+    pub fn queues(&self) -> &[ServiceQueue] {
+        &self.queues
+    }
+
+    /// The global interval counter (trace position across rounds).
+    pub fn global_t(&self) -> usize {
+        self.global_t
+    }
+
+    /// Restores the round-boundary state captured by a durable snapshot:
+    /// service queues, coordination vector, and trace position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` or `coord` do not match the slice count.
+    pub fn restore_round_state(
+        &mut self,
+        queues: Vec<ServiceQueue>,
+        coord: &[f64],
+        global_t: usize,
+    ) {
+        assert_eq!(queues.len(), self.n_slices(), "queue count mismatch");
+        assert_eq!(coord.len(), self.n_slices(), "coordination length mismatch");
+        self.queues = queues;
+        self.coord = coord.to_vec();
+        self.global_t = global_t;
+    }
+
     /// Assembles the observation (Eq. 13), normalized.
     ///
     /// Both halves of the state saturate at the range the agent trained

@@ -49,6 +49,38 @@ pub enum EdgeSliceError {
     /// A fault plan was internally inconsistent (e.g. an RA index beyond
     /// the system size, a non-finite degradation factor).
     InvalidFaultPlan(String),
+    /// An I/O operation on the durable checkpoint store failed.
+    Io {
+        /// The file or directory involved.
+        path: std::path::PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// A durable snapshot file failed structural validation (bad magic,
+    /// truncation, CRC mismatch, undecodable payload) and must not be
+    /// trusted; resume falls back to the previous valid snapshot.
+    CorruptSnapshot {
+        /// The rejected file.
+        path: std::path::PathBuf,
+        /// What failed to validate.
+        reason: String,
+    },
+    /// A durable snapshot declares an envelope format version this build
+    /// does not read.
+    UnsupportedSnapshotVersion {
+        /// The rejected file.
+        path: std::path::PathBuf,
+        /// Version declared by the file.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A durable snapshot was valid but describes a different system than
+    /// the one resuming from it (RA count, period, policy kind).
+    SnapshotMismatch {
+        /// What differed.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EdgeSliceError {
@@ -72,6 +104,28 @@ impl std::fmt::Display for EdgeSliceError {
                 write!(f, "slice {} was never admitted", slice.0)
             }
             Self::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            Self::Io { path, source } => {
+                write!(
+                    f,
+                    "checkpoint-store I/O failure at {}: {source}",
+                    path.display()
+                )
+            }
+            Self::CorruptSnapshot { path, reason } => {
+                write!(f, "corrupt snapshot {}: {reason}", path.display())
+            }
+            Self::UnsupportedSnapshotVersion {
+                path,
+                found,
+                supported,
+            } => write!(
+                f,
+                "snapshot {} has unsupported format version {found} (this build reads {supported})",
+                path.display()
+            ),
+            Self::SnapshotMismatch { reason } => {
+                write!(f, "snapshot does not match this system: {reason}")
+            }
         }
     }
 }
@@ -82,6 +136,7 @@ impl std::error::Error for EdgeSliceError {
             Self::Manager(e) => Some(e),
             Self::Checkpoint(e) => Some(e),
             Self::Optim(e) => Some(e),
+            Self::Io { source, .. } => Some(source),
             _ => None,
         }
     }

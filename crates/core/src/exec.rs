@@ -6,15 +6,23 @@
 //!
 //! Both the sequential and the threaded schedulers drive exactly this
 //! code, so `EdgeSliceSystem::run*` has a single round-loop implementation
-//! regardless of topology — and, because every worker owns a
-//! domain-separated RNG stream, the two topologies produce bit-identical
-//! [`crate::RunReport`]s for the same seed.
+//! regardless of topology — and, because every worker reseeds its RNG per
+//! round from a domain-separated stream, the two topologies produce
+//! bit-identical [`crate::RunReport`]s for the same seed, and a run
+//! resumed from a [`crate::CheckpointStore`] snapshot is bit-identical to
+//! one that was never interrupted.
 
 use std::time::Duration;
 
-use edgeslice_runtime::{Control, CoordInfo, RaReport, RoundCoordinator, RoundWorker};
+use edgeslice_runtime::{
+    derive_stream_seed, Control, CoordInfo, DownCause, RaReport, RoundCoordinator, RoundTelemetry,
+    RoundWorker, DOMAIN_ROUND,
+};
 use rand::rngs::StdRng;
+use rand::SeedableRng;
 
+use crate::orchestrator::DownEvent;
+use crate::store::{CheckpointStore, RunSnapshot, WorkerSnapshot};
 use crate::{
     project_action_per_resource, FaultInjector, FrozenPolicy, IntervalStatus, MonitorRecord,
     OrchestrationAgent, PerformanceCoordinator, PolicyCheckpoint, RaId, RaSliceEnv, RoundRecord,
@@ -31,14 +39,20 @@ pub(crate) enum WorkerPolicy<'a> {
 }
 
 /// One RA's round outcome, carried in [`RaReport::body`]: the achieved
-/// per-slice `Σ_t U`, the end-of-round backlog, and this round's monitor
-/// rows (the VR-interface reports, shipped to the central monitor in one
-/// batch per round).
+/// per-slice `Σ_t U`, the end-of-round queue state, the coordination
+/// signal and trace position the environment ended the round with (the
+/// coordinator's snapshot material), and this round's monitor rows (the
+/// VR-interface reports, shipped to the central monitor in one batch per
+/// round).
 pub(crate) struct RaRoundBody {
     /// `Σ_t U_{i,j}` per slice `i` for this RA `j`.
     pub u: Vec<f64>,
-    /// End-of-round queue backlog per slice.
-    pub load: Vec<f64>,
+    /// End-of-round per-slice service queues.
+    pub queues: Vec<edgeslice_netsim::ServiceQueue>,
+    /// The coordination vector the environment holds after this round.
+    pub coordination: Vec<f64>,
+    /// The environment's global interval counter after this round.
+    pub global_t: usize,
     /// The round's per-(interval, slice) monitor rows.
     pub records: Vec<MonitorRecord>,
 }
@@ -50,7 +64,11 @@ pub(crate) struct RaExecWorker<'a> {
     env: &'a mut RaSliceEnv,
     policy: WorkerPolicy<'a>,
     injector: &'a FaultInjector,
-    /// This worker's private, domain-separated traffic stream.
+    /// This worker's domain-separated stream seed; the traffic RNG is
+    /// rederived from it at the top of every round, so worker randomness
+    /// is a pure function of (master seed, RA, round) — the keystone of
+    /// crash-consistent resume.
+    stream_seed: u64,
     rng: StdRng,
     period: usize,
     n_slices: usize,
@@ -77,7 +95,7 @@ impl<'a> RaExecWorker<'a> {
         env: &'a mut RaSliceEnv,
         policy: WorkerPolicy<'a>,
         injector: &'a FaultInjector,
-        rng: StdRng,
+        stream_seed: u64,
         period: usize,
         project_actions: bool,
         round_base: usize,
@@ -89,7 +107,9 @@ impl<'a> RaExecWorker<'a> {
             env,
             policy,
             injector,
-            rng,
+            stream_seed,
+            // Placeholder only: `run_round` reseeds before every draw.
+            rng: StdRng::seed_from_u64(stream_seed),
             period,
             n_slices,
             project_actions,
@@ -99,6 +119,23 @@ impl<'a> RaExecWorker<'a> {
             was_down: false,
             straggle_sleep,
         }
+    }
+
+    /// Marks the worker as freshly resumed from a snapshot where its RA
+    /// was down (mid-outage or just panicked): its next served round takes
+    /// the rejoin path, exactly like the uninterrupted worker would.
+    pub(crate) fn with_down_state(mut self, was_down: bool) -> Self {
+        self.was_down = was_down;
+        self
+    }
+
+    /// Installs a restored policy (from a run or train snapshot); the
+    /// worker decides with it instead of the live agent. Decisions are
+    /// bit-identical either way — the checkpoint stores the exact weights.
+    pub(crate) fn with_restored_policy(mut self, ckpt: PolicyCheckpoint) -> Self {
+        let ra = self.ra;
+        self.restored = Some(ckpt.into_frozen_policy(ra));
+        self
     }
 }
 
@@ -111,8 +148,20 @@ impl RoundWorker for RaExecWorker<'_> {
 
     fn run_round(&mut self, info: &CoordInfo) -> RaReport<RaRoundBody> {
         let round_off = info.round;
-        let round = self.round_base + round_off;
         let view = self.injector.view(self.ra, round_off);
+        // A scripted worker panic unwinds for real, before the RNG reseed
+        // and before any state mutation: the panicked round leaves the
+        // worker exactly as the previous round left it, which is what
+        // makes caught panics replayable from a snapshot.
+        if view.panic {
+            panic!("injected worker panic: ra {} round {round_off}", self.ra.0);
+        }
+        self.rng = StdRng::seed_from_u64(derive_stream_seed(
+            self.stream_seed,
+            DOMAIN_ROUND,
+            round_off as u64,
+        ));
+        let round = self.round_base + round_off;
         if view.down {
             // Outage start: make-before-break — snapshot the policy the
             // RA will be re-deployed from when it rejoins.
@@ -174,7 +223,9 @@ impl RoundWorker for RaExecWorker<'_> {
             deadline_missed: view.straggler,
             body: Some(RaRoundBody {
                 u,
-                load: self.env.queue_lengths(),
+                queues: self.env.queues().to_vec(),
+                coordination: self.env.coordination().to_vec(),
+                global_t: self.env.global_t(),
                 records,
             }),
         }
@@ -183,10 +234,16 @@ impl RoundWorker for RaExecWorker<'_> {
     fn handle_control(&mut self, ctl: &Control) {
         match ctl {
             Control::Checkpoint => {
-                if let WorkerPolicy::Learned(agent) = &self.policy {
-                    if self.checkpoint.is_none() {
-                        self.checkpoint = Some(PolicyCheckpoint::from_agent(agent));
-                    }
+                if self.checkpoint.is_none() {
+                    // Snapshot the *effective* policy: the restored one if
+                    // a rejoin already happened, the live agent otherwise.
+                    self.checkpoint = match (&self.restored, &self.policy) {
+                        (Some(fp), _) => Some(fp.checkpoint().clone()),
+                        (None, WorkerPolicy::Learned(agent)) => {
+                            Some(PolicyCheckpoint::from_agent(agent))
+                        }
+                        (None, WorkerPolicy::Taro(_)) => None,
+                    };
                 }
             }
             Control::Rejoin { .. } => {
@@ -200,10 +257,21 @@ impl RoundWorker for RaExecWorker<'_> {
             Control::Shutdown => {}
         }
     }
+
+    fn recover(&mut self) -> bool {
+        // The supervisor respawns this worker after a caught panic. The
+        // panicked round mutated nothing, so recovery is a rejoin: the
+        // next served round flushes the queues and redeploys the policy —
+        // identical to a node reboot, and to what a resumed process does.
+        self.was_down = true;
+        true
+    }
 }
 
-/// The coordinator task: folds per-RA reports into the ADMM update, the
-/// monitor database and the [`RunReport`].
+/// The coordinator task: folds per-RA reports and supervision telemetry
+/// into the ADMM update, the monitor database, the [`RunReport`], and —
+/// every K rounds, when a durable sink is attached — a crash-consistent
+/// [`RunSnapshot`].
 pub(crate) struct SystemExecCoordinator<'a> {
     coordinator: &'a mut PerformanceCoordinator,
     monitor: &'a mut SystemMonitor,
@@ -211,6 +279,17 @@ pub(crate) struct SystemExecCoordinator<'a> {
     n_ras: usize,
     period: usize,
     round_base: usize,
+    /// Rolling per-RA round-boundary state, refreshed from report bodies;
+    /// what a snapshot freezes.
+    worker_state: Vec<WorkerSnapshot>,
+    /// Caught panics per RA, prior runs included: seeds resumed restart
+    /// budgets.
+    panic_counts: Vec<usize>,
+    /// The effective policy per RA (`None` for TARO), re-installed
+    /// verbatim on resume.
+    policies: Vec<Option<PolicyCheckpoint>>,
+    /// Durable sink: `(store, every_k, master_seed)`.
+    sink: Option<(&'a CheckpointStore, usize, u64)>,
     /// The per-round records accumulated so far.
     pub report: RunReport,
 }
@@ -231,8 +310,48 @@ impl<'a> SystemExecCoordinator<'a> {
             n_ras,
             period,
             round_base,
+            worker_state: (0..n_ras)
+                .map(|j| WorkerSnapshot {
+                    ra: RaId(j),
+                    queues: Vec::new(),
+                    coordination: Vec::new(),
+                    global_t: 0,
+                    was_down: false,
+                })
+                .collect(),
+            panic_counts: vec![0; n_ras],
+            policies: vec![None; n_ras],
+            sink: None,
             report: RunReport::default(),
         }
+    }
+
+    /// Seeds the coordinator with resume (or fresh-run) state: the per-RA
+    /// round-boundary snapshots, prior panic counts, effective policies,
+    /// and the already-completed report prefix.
+    pub(crate) fn with_state(
+        mut self,
+        worker_state: Vec<WorkerSnapshot>,
+        panic_counts: Vec<usize>,
+        policies: Vec<Option<PolicyCheckpoint>>,
+        prefix: RunReport,
+    ) -> Self {
+        self.worker_state = worker_state;
+        self.panic_counts = panic_counts;
+        self.policies = policies;
+        self.report = prefix;
+        self
+    }
+
+    /// Attaches a durable snapshot sink writing every `every_k` rounds.
+    pub(crate) fn with_sink(
+        mut self,
+        store: &'a CheckpointStore,
+        every_k: usize,
+        master_seed: u64,
+    ) -> Self {
+        self.sink = Some((store, every_k, master_seed));
+        self
     }
 }
 
@@ -244,24 +363,72 @@ impl RoundCoordinator for SystemExecCoordinator<'_> {
         (0..self.n_ras).map(|j| info.for_ra(RaId(j))).collect()
     }
 
-    fn collect(&mut self, round_off: usize, reports: Vec<Option<RaReport<RaRoundBody>>>) -> bool {
+    fn collect(
+        &mut self,
+        round_off: usize,
+        reports: Vec<Option<RaReport<RaRoundBody>>>,
+        telemetry: &RoundTelemetry,
+    ) -> bool {
         let round = self.round_base + round_off;
         let n_slices = self.slices.len();
+        // Fold the supervision events first: every downed RA is reported
+        // explicitly — never silently truncated into a missing report.
+        let mut downed = Vec::new();
+        for down in &telemetry.downs {
+            if down.ra >= self.n_ras {
+                continue;
+            }
+            downed.push(RaId(down.ra));
+            if matches!(down.cause, DownCause::Panic(_)) {
+                // The worker's `recover` hook marked it down; mirror that
+                // in the snapshot state so a resumed worker takes the
+                // same rejoin path, and count the panic against the
+                // resumed restart budget.
+                self.panic_counts[down.ra] += 1;
+                self.worker_state[down.ra].was_down = true;
+            }
+            self.report.supervision.worker_downs.push(DownEvent {
+                ra: RaId(down.ra),
+                round,
+                cause: down.cause.to_string(),
+            });
+        }
+        self.report.supervision.deadline_timeouts += usize::from(telemetry.deadline_expired);
+        self.report.supervision.disconnects += usize::from(telemetry.channel_disconnected);
+        self.report.supervision.discarded_reports += telemetry.discarded_reports;
+
         let mut achieved = vec![vec![0.0; self.n_ras]; n_slices];
         let mut present = vec![true; self.n_ras];
         let mut load = vec![0.0; self.n_ras];
         let mut outages = Vec::new();
         for (j, slot) in reports.into_iter().enumerate() {
             match slot {
-                // The report never arrived (wall-clock deadline expiry on
-                // a hung worker): the RA is missing this round and its
-                // monitor rows are lost with the message.
-                None => present[j] = false,
+                // No report. Either the worker is down (a typed event in
+                // `downed`: the RA served nothing, so it gets explicit
+                // outage rows and SLA proration, like a scripted outage)
+                // or the report was lost to a wall-clock deadline expiry
+                // / dead channel (the rows are lost with the message).
+                None => {
+                    present[j] = false;
+                    if downed.contains(&RaId(j)) {
+                        for t in 0..self.period {
+                            for i in 0..n_slices {
+                                self.monitor.record(MonitorRecord::outage(
+                                    round,
+                                    t,
+                                    RaId(j),
+                                    SliceId(i),
+                                ));
+                            }
+                        }
+                    }
+                }
                 Some(rep) => match rep.body {
                     // A dark RA: nothing served, explicit outage rows.
                     None => {
                         present[j] = false;
                         outages.push(RaId(j));
+                        self.worker_state[j].was_down = true;
                         for t in 0..self.period {
                             for i in 0..n_slices {
                                 self.monitor.record(MonitorRecord::outage(
@@ -277,7 +444,14 @@ impl RoundCoordinator for SystemExecCoordinator<'_> {
                         for (row, &u) in achieved.iter_mut().zip(&body.u) {
                             row[j] = u;
                         }
-                        load[j] = body.load.iter().sum();
+                        load[j] = body.queues.iter().map(|q| q.backlog()).sum();
+                        self.worker_state[j] = WorkerSnapshot {
+                            ra: RaId(j),
+                            queues: body.queues,
+                            coordination: body.coordination,
+                            global_t: body.global_t,
+                            was_down: false,
+                        };
                         for record in body.records {
                             self.monitor.record(record);
                         }
@@ -314,9 +488,31 @@ impl RoundCoordinator for SystemExecCoordinator<'_> {
             residuals,
             sla_met,
             outages,
+            downed,
+            discarded_reports: telemetry.discarded_reports,
             served_fraction,
             load,
         });
+        if let Some((store, every_k, master_seed)) = self.sink {
+            if (round_off + 1).is_multiple_of(every_k) {
+                let snapshot = RunSnapshot {
+                    master_seed,
+                    round_base: self.round_base,
+                    next_round: round_off + 1,
+                    coordinator: self.coordinator.snapshot(),
+                    workers: self.worker_state.clone(),
+                    policies: self.policies.clone(),
+                    panic_counts: self.panic_counts.clone(),
+                    rounds: self.report.rounds.clone(),
+                    supervision: self.report.supervision.clone(),
+                };
+                // A failed checkpoint write degrades resumability, not the
+                // run itself: report it and keep going.
+                if let Err(err) = store.save_run(&snapshot) {
+                    eprintln!("edgeslice: checkpoint write failed (run continues): {err}");
+                }
+            }
+        }
         self.coordinator.converged()
     }
 }
@@ -338,5 +534,6 @@ mod tests {
         fn assert_sync<T: Sync>() {}
         assert_sync::<FaultInjector>();
         assert_sync::<OrchestrationAgent>();
+        assert_sync::<crate::CheckpointStore>();
     }
 }

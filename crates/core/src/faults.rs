@@ -54,6 +54,11 @@ pub struct FaultConfig {
     pub degradation_factor: f64,
     /// Degradation duration range, rounds (inclusive).
     pub degradation_rounds: (usize, usize),
+    /// Probability an up RA's worker *panics* at the top of a round — a
+    /// real crash for the runtime supervisor to catch, not a simulated
+    /// flag. Defaults to `0.0` in every pre-existing preset so older fault
+    /// schedules are reproduced byte-for-byte.
+    pub panic_rate: f64,
 }
 
 impl FaultConfig {
@@ -70,6 +75,7 @@ impl FaultConfig {
             degradation_rate: 0.0,
             degradation_factor: 1.0,
             degradation_rounds: (1, 1),
+            panic_rate: 0.0,
         }
     }
 
@@ -87,6 +93,17 @@ impl FaultConfig {
             degradation_rate: 0.05,
             degradation_factor: 0.5,
             degradation_rounds: (1, 4),
+            panic_rate: 0.0,
+        }
+    }
+
+    /// The [`FaultConfig::stress`] environment plus real worker crashes:
+    /// every fault channel active at once, for chaos testing the
+    /// supervised runtime.
+    pub fn chaos(n_ras: usize, horizon_rounds: usize, seed: u64) -> Self {
+        Self {
+            panic_rate: 0.08,
+            ..Self::stress(n_ras, horizon_rounds, seed)
         }
     }
 }
@@ -134,6 +151,16 @@ pub enum FaultEvent {
         /// Capacity multiplier in `(0, 1]`.
         factor: f64,
     },
+    /// `ra`'s worker panics at the top of `round`: the runtime supervisor
+    /// catches the unwind, restarts the worker under its backoff budget,
+    /// and reports the RA down for that round. This is a *real* panic
+    /// crossing `catch_unwind`, not a simulated missing report.
+    WorkerPanic {
+        /// The affected RA.
+        ra: RaId,
+        /// The round whose `run_round` panics.
+        round: usize,
+    },
 }
 
 impl FaultEvent {
@@ -142,7 +169,8 @@ impl FaultEvent {
             FaultEvent::RaOutage { ra, .. }
             | FaultEvent::BroadcastDrop { ra, .. }
             | FaultEvent::Straggler { ra, .. }
-            | FaultEvent::CapacityDegradation { ra, .. } => ra,
+            | FaultEvent::CapacityDegradation { ra, .. }
+            | FaultEvent::WorkerPanic { ra, .. } => ra,
         }
     }
 }
@@ -196,6 +224,11 @@ impl FaultPlan {
                 }
                 if config.straggler_rate > 0.0 && rng.gen_bool(config.straggler_rate) {
                     events.push(FaultEvent::Straggler { ra, round });
+                }
+                // Guarded draw: a zero panic_rate consumes no randomness,
+                // so pre-existing configs reproduce their plans exactly.
+                if config.panic_rate > 0.0 && rng.gen_bool(config.panic_rate) {
+                    events.push(FaultEvent::WorkerPanic { ra, round });
                 }
                 if round >= degraded_until
                     && config.degradation_rate > 0.0
@@ -255,7 +288,9 @@ impl FaultPlan {
                         "{ev:?} outside horizon {horizon_rounds} or zero-length"
                     ));
                 }
-                FaultEvent::BroadcastDrop { round, .. } | FaultEvent::Straggler { round, .. }
+                FaultEvent::BroadcastDrop { round, .. }
+                | FaultEvent::Straggler { round, .. }
+                | FaultEvent::WorkerPanic { round, .. }
                     if round >= horizon_rounds =>
                 {
                     return bad(format!("{ev:?} outside horizon {horizon_rounds}"));
@@ -309,6 +344,9 @@ pub struct RaFaultView {
     /// The report misses the deadline: the coordinator treats the RA as
     /// missing this round even though traffic was served.
     pub straggler: bool,
+    /// The worker genuinely panics at the top of this round; the runtime
+    /// supervisor catches it and reports the RA down.
+    pub panic: bool,
     /// Per-domain capacity multipliers `[radio, transport, compute]`,
     /// `1.0` when healthy.
     pub capacity_scale: [f64; 3],
@@ -322,6 +360,7 @@ impl RaFaultView {
             rejoining: false,
             broadcast_dropped: false,
             straggler: false,
+            panic: false,
             capacity_scale: [1.0; 3],
         }
     }
@@ -340,6 +379,7 @@ pub struct FaultInjector {
     down: Vec<Vec<bool>>,
     dropped: Vec<Vec<bool>>,
     straggle: Vec<Vec<bool>>,
+    panics: Vec<Vec<bool>>,
     scale: Vec<Vec<[f64; 3]>>,
 }
 
@@ -350,6 +390,7 @@ impl FaultInjector {
         let mut down = vec![vec![false; n_ras]; rounds];
         let mut dropped = vec![vec![false; n_ras]; rounds];
         let mut straggle = vec![vec![false; n_ras]; rounds];
+        let mut panics = vec![vec![false; n_ras]; rounds];
         let mut scale = vec![vec![[1.0f64; 3]; n_ras]; rounds];
         for ev in &plan.events {
             match *ev {
@@ -385,6 +426,11 @@ impl FaultInjector {
                         row[ra.0][domain.index()] *= factor;
                     }
                 }
+                FaultEvent::WorkerPanic { ra, round } => {
+                    if round < rounds {
+                        panics[round][ra.0] = true;
+                    }
+                }
             }
         }
         Self {
@@ -392,6 +438,7 @@ impl FaultInjector {
             down,
             dropped,
             straggle,
+            panics,
             scale,
         }
     }
@@ -419,6 +466,7 @@ impl FaultInjector {
             rejoining: !down && was_down,
             broadcast_dropped: self.dropped[round][ra.0] && !down,
             straggler: self.straggle[round][ra.0] && !down,
+            panic: self.panics[round][ra.0] && !down,
             capacity_scale: if down {
                 [1.0; 3]
             } else {
@@ -542,6 +590,68 @@ mod tests {
         assert_eq!(inj.view(RaId(0), 1).capacity_scale, [1.0, 0.5, 1.0]);
         assert_eq!(inj.view(RaId(0), 2).capacity_scale, [1.0, 0.5, 1.0]);
         assert_eq!(inj.view(RaId(0), 3).capacity_scale, [1.0; 3]);
+    }
+
+    #[test]
+    fn worker_panics_compile_and_are_suppressed_while_down() {
+        let plan = FaultPlan::scripted(
+            2,
+            10,
+            vec![
+                FaultEvent::RaOutage {
+                    ra: RaId(0),
+                    start_round: 2,
+                    rounds: 2,
+                },
+                FaultEvent::WorkerPanic {
+                    ra: RaId(0),
+                    round: 2,
+                },
+                FaultEvent::WorkerPanic {
+                    ra: RaId(0),
+                    round: 5,
+                },
+            ],
+        )
+        .unwrap();
+        let inj = FaultInjector::new(plan);
+        // A dark RA has no worker to crash: down wins over panic.
+        assert!(!inj.view(RaId(0), 2).panic);
+        assert!(inj.view(RaId(0), 5).panic);
+        assert!(!inj.view(RaId(1), 5).panic);
+        let out_of_range = FaultPlan::scripted(
+            2,
+            10,
+            vec![FaultEvent::WorkerPanic {
+                ra: RaId(0),
+                round: 10,
+            }],
+        );
+        assert!(matches!(
+            out_of_range,
+            Err(EdgeSliceError::InvalidFaultPlan(_))
+        ));
+    }
+
+    #[test]
+    fn zero_panic_rate_consumes_no_randomness() {
+        // The panic draw is guarded by `panic_rate > 0.0`, so disabling
+        // panics in a chaos config reproduces the stress plan exactly —
+        // pre-existing fault schedules are byte-for-byte stable.
+        let stress = FaultPlan::generate(&FaultConfig::stress(3, 60, 7));
+        let defanged = FaultPlan::generate(&FaultConfig {
+            panic_rate: 0.0,
+            ..FaultConfig::chaos(3, 60, 7)
+        });
+        assert_eq!(stress, defanged);
+        let chaos = FaultPlan::generate(&FaultConfig::chaos(3, 60, 7));
+        assert!(
+            chaos
+                .events()
+                .iter()
+                .any(|e| matches!(e, FaultEvent::WorkerPanic { .. })),
+            "chaos preset should schedule at least one panic over 180 RA-rounds"
+        );
     }
 
     #[test]

@@ -61,12 +61,13 @@ mod overhead;
 mod perf;
 mod reward;
 mod sla;
+mod store;
 
 pub use admission::{AdmissionController, DemandEstimate, RejectReason, SliceRequest};
 pub use agent::{AgentBackend, AgentConfig, OrchestrationAgent};
 pub use baseline::Taro;
-pub use checkpoint::{CheckpointError, FrozenPolicy, PolicyCheckpoint};
-pub use coordinator::{CoordinationInfo, PerformanceCoordinator};
+pub use checkpoint::{CheckpointError, FrozenPolicy, PolicyCheckpoint, POLICY_CHECKPOINT_VERSION};
+pub use coordinator::{CoordinationInfo, CoordinatorState, PerformanceCoordinator};
 pub use env::{RaEnvConfig, RaSliceEnv, ServiceModel, StateSpec};
 pub use error::EdgeSliceError;
 pub use faults::{FaultConfig, FaultEvent, FaultInjector, FaultPlan, RaFaultView};
@@ -74,14 +75,18 @@ pub use ids::{RaId, ResourceKind, SliceId};
 pub use managers::{ManagerError, ResourceManagers, SliceAllocation};
 pub use monitor::{IntervalStatus, MonitorRecord, SystemMonitor};
 pub use orchestrator::{
-    project_action_per_resource, EdgeSliceSystem, OrchestratorKind, RoundRecord, RunReport,
-    SystemConfig, TrafficKind,
+    project_action_per_resource, DownEvent, EdgeSliceSystem, OrchestratorKind, RoundRecord,
+    RunReport, SupervisionStats, SystemConfig, TrafficKind,
 };
 pub use overhead::{OverheadModel, RoundTraffic};
-// The execution engine's scheduler is part of the system API (see
-// `EdgeSliceSystem::set_scheduler`); re-export it so downstream users
+pub use store::{
+    CheckpointStore, LatestRun, RunSnapshot, TrainSnapshot, WorkerSnapshot, SNAPSHOT_FORMAT_VERSION,
+};
+// The execution engine's scheduler and supervision policy are part of the
+// system API (see `EdgeSliceSystem::set_scheduler` /
+// `EdgeSliceSystem::set_supervision`); re-export them so downstream users
 // don't need a direct `edgeslice-runtime` dependency.
-pub use edgeslice_runtime::Scheduler;
+pub use edgeslice_runtime::{Scheduler, SupervisorConfig};
 pub use perf::{NegServiceTime, PerformanceFunction, QueuePenalty};
 pub use reward::{reward, RewardParams};
 pub use sla::{Sla, SliceSpec};

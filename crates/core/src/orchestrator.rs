@@ -5,13 +5,14 @@
 //! the performance coordinator runs the `z`/`y` updates and broadcasts
 //! fresh `z − y`, iterating until the ADMM residuals converge.
 
+use std::path::Path;
 use std::sync::Arc;
 use std::time::Duration;
 
 use edgeslice_optim::{project_capacity, AdmmConfig, AdmmResiduals};
 use edgeslice_rl::Technique;
 use edgeslice_runtime::{
-    derive_stream_seed, par_map, Engine, Scheduler, DOMAIN_ORCH, DOMAIN_TRAIN,
+    derive_stream_seed, par_map, Engine, Scheduler, SupervisorConfig, DOMAIN_ORCH, DOMAIN_TRAIN,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -22,10 +23,11 @@ use edgeslice_netsim::{
 };
 
 use crate::exec::{RaExecWorker, SystemExecCoordinator, WorkerPolicy};
+use crate::store::{CheckpointStore, TrainSnapshot, WorkerSnapshot};
 use crate::{
     AgentConfig, EdgeSliceError, FaultInjector, OrchestrationAgent, PerformanceCoordinator,
-    PerformanceFunction, QueuePenalty, RaEnvConfig, RaId, RaSliceEnv, RewardParams, Sla, SliceId,
-    SliceSpec, StateSpec, SystemMonitor,
+    PerformanceFunction, PolicyCheckpoint, QueuePenalty, RaEnvConfig, RaId, RaSliceEnv,
+    RewardParams, Sla, SliceId, SliceSpec, StateSpec, SystemMonitor,
 };
 
 /// Traffic model shared by every (slice, RA) pair.
@@ -194,6 +196,13 @@ pub struct RoundRecord {
     pub sla_met: Vec<bool>,
     /// RAs that were dark this round.
     pub outages: Vec<RaId>,
+    /// RAs whose supervised worker went down this round (caught panic,
+    /// exhausted restart budget, or dead channel) — reported explicitly,
+    /// never silently truncated into a missing report.
+    pub downed: Vec<RaId>,
+    /// Malformed reports (wrong round, unknown RA, duplicate slot) the
+    /// gather loop dropped with a trace this round.
+    pub discarded_reports: usize,
     /// Fraction of this round's (RA, interval) pairs that served traffic
     /// (`1.0` in a fault-free round).
     pub served_fraction: f64,
@@ -202,11 +211,39 @@ pub struct RoundRecord {
     pub load: Vec<f64>,
 }
 
+/// One supervision event: a worker that could not report this round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DownEvent {
+    /// The downed RA.
+    pub ra: RaId,
+    /// Global round index of the event.
+    pub round: usize,
+    /// Human-readable cause (`"panic: …"`, `"restart budget exhausted"`,
+    /// `"worker channel disconnected"`).
+    pub cause: String,
+}
+
+/// Aggregate supervision telemetry for a run: what went down, when, and
+/// what the engine's gather loop had to discard or time out on.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SupervisionStats {
+    /// Every worker-down event, in round order (RA-sorted within a round).
+    pub worker_downs: Vec<DownEvent>,
+    /// Rounds whose wall-clock report deadline expired.
+    pub deadline_timeouts: usize,
+    /// Rounds that ended with a dead worker channel.
+    pub disconnects: usize,
+    /// Malformed reports dropped at the gather loop across the run.
+    pub discarded_reports: usize,
+}
+
 /// The full run's outcome.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct RunReport {
     /// Per-round records, in order.
     pub rounds: Vec<RoundRecord>,
+    /// Supervision telemetry accumulated over the run.
+    pub supervision: SupervisionStats,
 }
 
 impl RunReport {
@@ -252,6 +289,15 @@ pub struct EdgeSliceSystem {
     scheduler: Scheduler,
     round_deadline: Duration,
     straggle_sleep: Duration,
+    /// Supervision policy for worker panics (restart budget + backoff).
+    supervision: SupervisorConfig,
+    /// Durable snapshot store; when set, runs checkpoint every
+    /// `checkpoint_every` rounds and training checkpoints per RA.
+    store: Option<CheckpointStore>,
+    checkpoint_every: usize,
+    /// Per-RA policies restored from snapshots; when set, workers decide
+    /// with these instead of the live agents (bit-identical either way).
+    policy_overrides: Vec<Option<PolicyCheckpoint>>,
 }
 
 impl std::fmt::Debug for EdgeSliceSystem {
@@ -281,6 +327,7 @@ impl EdgeSliceSystem {
         };
         let slas: Vec<Sla> = config.slices.iter().map(|s| s.sla).collect();
         let coordinator = PerformanceCoordinator::new(&slas, config.n_ras, config.admm);
+        let n_ras = config.n_ras;
         Self {
             config,
             kind,
@@ -291,6 +338,10 @@ impl EdgeSliceSystem {
             scheduler: Scheduler::Sequential,
             round_deadline: Duration::from_secs(30),
             straggle_sleep: Duration::ZERO,
+            supervision: SupervisorConfig::default(),
+            store: None,
+            checkpoint_every: 4,
+            policy_overrides: vec![None; n_ras],
         }
     }
 
@@ -322,6 +373,42 @@ impl EdgeSliceSystem {
         self.straggle_sleep = delay;
     }
 
+    /// Sets the supervision policy applied to worker panics: restart
+    /// budget per RA and the exponential backoff between respawns.
+    pub fn set_supervision(&mut self, config: SupervisorConfig) {
+        self.supervision = config;
+    }
+
+    /// Attaches a durable [`CheckpointStore`] at `dir`: subsequent runs
+    /// write a crash-consistent snapshot every `every_k` rounds and
+    /// training checkpoints each RA's trained policy, enabling
+    /// [`EdgeSliceSystem::resume`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeSliceError::Io`] if the directory cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every_k` is zero.
+    pub fn set_checkpointing(&mut self, dir: &Path, every_k: usize) -> Result<(), EdgeSliceError> {
+        assert!(every_k >= 1, "checkpoint cadence must be at least 1 round");
+        self.store = Some(CheckpointStore::open(dir)?);
+        self.checkpoint_every = every_k;
+        Ok(())
+    }
+
+    /// The attached checkpoint store, if any.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.store.as_ref()
+    }
+
+    /// How many of this system's RAs currently decide with a
+    /// snapshot-restored policy instead of a live agent.
+    pub fn restored_policy_count(&self) -> usize {
+        self.policy_overrides.iter().filter(|p| p.is_some()).count()
+    }
+
     /// The system configuration.
     pub fn config(&self) -> &SystemConfig {
         &self.config
@@ -344,6 +431,11 @@ impl EdgeSliceSystem {
     /// one master seed drawn from `rng`, so training parallelizes across
     /// RA workers under [`Scheduler::Threaded`] with results identical to
     /// the sequential schedule.
+    /// With a [`CheckpointStore`] attached, each RA's trained policy (and
+    /// end-of-training environment state) is persisted as it completes,
+    /// and a re-run of the same `train` call — same seed sequence, same
+    /// `env_steps` — skips straight to the stored outcome instead of
+    /// retraining, so an interrupted train-then-run program resumes.
     pub fn train(&mut self, env_steps: usize, rng: &mut StdRng) {
         if self.agents.is_empty() {
             // TARO trains nothing, but deployment still starts from an
@@ -354,25 +446,80 @@ impl EdgeSliceSystem {
             return;
         }
         let master = rng.gen::<u64>();
+        // Per RA: resume from a matching train snapshot, or train live.
+        let mut restored: Vec<Option<TrainSnapshot>> = vec![None; self.config.n_ras];
+        if let Some(store) = &self.store {
+            for (j, slot) in restored.iter_mut().enumerate() {
+                match store.load_train(RaId(j)) {
+                    Ok(Some(snap)) if snap.master_seed == master && snap.env_steps == env_steps => {
+                        *slot = Some(snap);
+                    }
+                    // A snapshot from a different seed/length: retrain.
+                    Ok(_) => {}
+                    Err(err) => {
+                        eprintln!(
+                            "edgeslice: ignoring unreadable train snapshot for ra {j}: {err}"
+                        );
+                    }
+                }
+            }
+        }
         let mut units: Vec<TrainUnit<'_>> = self
             .agents
             .iter_mut()
             .zip(&mut self.envs)
             .enumerate()
+            .filter(|(j, _)| restored[*j].is_none())
             .map(|(j, (agent, env))| TrainUnit {
+                ra: RaId(j),
                 agent,
                 env,
                 rng: StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_TRAIN, j as u64)),
             })
             .collect();
+        let sink = self.store.as_ref();
         par_map(self.scheduler, &mut units, |_, unit| {
             unit.agent.train(unit.env, env_steps, &mut unit.rng);
+            // Deployment starts from an operational baseline, not whatever
+            // backlog the final training episode left behind.
+            unit.env.clear_queues();
+            if let Some(store) = sink {
+                let snap = TrainSnapshot {
+                    ra: unit.ra,
+                    master_seed: master,
+                    env_steps,
+                    policy: PolicyCheckpoint::from_agent(unit.agent),
+                    env: WorkerSnapshot {
+                        ra: unit.ra,
+                        queues: unit.env.queues().to_vec(),
+                        coordination: unit.env.coordination().to_vec(),
+                        global_t: unit.env.global_t(),
+                        was_down: false,
+                    },
+                };
+                if let Err(err) = store.save_train(&snap) {
+                    eprintln!(
+                        "edgeslice: train checkpoint write failed for ra {} (continuing): {err}",
+                        unit.ra.0
+                    );
+                }
+            }
         });
         drop(units);
-        // Deployment starts from an operational baseline, not whatever
-        // backlog the final training episode left behind.
-        for env in &mut self.envs {
-            env.clear_queues();
+        for (j, slot) in restored.into_iter().enumerate() {
+            match slot {
+                Some(snap) => {
+                    // Skipped RA: re-install the stored outcome — policy
+                    // and environment exactly as training left them.
+                    self.envs[j].restore_round_state(
+                        snap.env.queues,
+                        &snap.env.coordination,
+                        snap.env.global_t,
+                    );
+                    self.policy_overrides[j] = Some(snap.policy);
+                }
+                None => self.policy_overrides[j] = None,
+            }
         }
     }
 
@@ -493,45 +640,196 @@ impl EdgeSliceSystem {
         rng: &mut StdRng,
         injector: &FaultInjector,
     ) -> RunReport {
+        let master = rng.gen::<u64>();
+        self.run_rounds(max_rounds, master, injector, None)
+    }
+
+    /// Resumes an interrupted `run`/`run_with_faults` from the newest
+    /// valid snapshot in `dir`, producing a report bit-identical to the
+    /// run that was never interrupted (same system seed, same fault plan,
+    /// same `max_rounds`).
+    ///
+    /// Corrupt or truncated snapshot files are skipped (with a note on
+    /// stderr) in favour of the newest one that validates; if none does,
+    /// the run simply starts over from round 0 — `resume` is therefore
+    /// safe to use as the *only* entry point of a crash-looped program.
+    /// One draw is consumed from `rng` either way, so the caller's seed
+    /// stream stays aligned with the interrupted program's.
+    ///
+    /// What resume cannot replay: real wall-clock deadline misses and
+    /// channel disconnects (as opposed to fault-plan stragglers and
+    /// scripted outages/panics) are nondeterministic in the original run,
+    /// so their reports are only equal if neither run hits one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeSliceError::Io`] if the store cannot be opened and
+    /// [`EdgeSliceError::SnapshotMismatch`] if the snapshot belongs to a
+    /// differently-shaped system.
+    pub fn resume(
+        &mut self,
+        dir: &Path,
+        max_rounds: usize,
+        rng: &mut StdRng,
+        injector: &FaultInjector,
+    ) -> Result<RunReport, EdgeSliceError> {
+        let every_k = self.checkpoint_every;
+        self.set_checkpointing(dir, every_k)?;
+        let latest = self
+            .store
+            .as_ref()
+            .expect("checkpointing just attached")
+            .latest_run()?;
+        for (path, err) in &latest.rejected {
+            eprintln!(
+                "edgeslice: skipping unreadable snapshot {}: {err}",
+                path.display()
+            );
+        }
+        // Drawn whether or not a snapshot exists, so the caller's rng
+        // stays aligned with the interrupted program's seed stream.
+        let drawn_master = rng.gen::<u64>();
+        let Some(snap) = latest.snapshot else {
+            return Ok(self.run_rounds(max_rounds, drawn_master, injector, None));
+        };
+        if snap.workers.len() != self.config.n_ras {
+            return Err(EdgeSliceError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot has {} RAs, this system has {}",
+                    snap.workers.len(),
+                    self.config.n_ras
+                ),
+            });
+        }
+        self.coordinator.restore(&snap.coordinator)?;
+        self.policy_overrides = snap.policies;
+        let prefix = RunReport {
+            rounds: snap.rounds,
+            supervision: snap.supervision,
+        };
+        if snap.next_round >= max_rounds {
+            // The interrupted run had already finished these rounds.
+            return Ok(prefix);
+        }
+        Ok(self.run_rounds(
+            max_rounds,
+            snap.master_seed,
+            injector,
+            Some(ResumeState {
+                first_round: snap.next_round,
+                round_base: snap.round_base,
+                worker_state: snap.workers,
+                panic_counts: snap.panic_counts,
+                prefix,
+            }),
+        ))
+    }
+
+    /// The single round-loop implementation behind `run`,
+    /// `run_with_faults` and `resume`.
+    fn run_rounds(
+        &mut self,
+        max_rounds: usize,
+        master: u64,
+        injector: &FaultInjector,
+        resume: Option<ResumeState>,
+    ) -> RunReport {
         let n_ras = self.config.n_ras;
         let period = self.config.reward.period;
         for env in &mut self.envs {
             env.set_randomize_coord(false);
         }
-        let start_round = self.monitor.rounds();
-        let master = rng.gen::<u64>();
+        let (first_round, round_base, worker_state, panic_counts, prefix) = match resume {
+            Some(state) => {
+                // Rewind every environment to the snapshot boundary.
+                for (env, ws) in self.envs.iter_mut().zip(&state.worker_state) {
+                    env.restore_round_state(ws.queues.clone(), &ws.coordination, ws.global_t);
+                }
+                (
+                    state.first_round,
+                    state.round_base,
+                    state.worker_state,
+                    state.panic_counts,
+                    state.prefix,
+                )
+            }
+            None => {
+                let round_base = self.monitor.rounds();
+                // The initial snapshot state is the environments as they
+                // stand at run start (post-training baseline).
+                let worker_state = self
+                    .envs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, env)| WorkerSnapshot {
+                        ra: RaId(j),
+                        queues: env.queues().to_vec(),
+                        coordination: env.coordination().to_vec(),
+                        global_t: env.global_t(),
+                        was_down: false,
+                    })
+                    .collect();
+                (
+                    0,
+                    round_base,
+                    worker_state,
+                    vec![0; n_ras],
+                    RunReport::default(),
+                )
+            }
+        };
+        // The effective policy per RA — what a fresh process re-installs
+        // instead of retraining (`None` for TARO).
+        let policies: Vec<Option<PolicyCheckpoint>> = match self.kind {
+            OrchestratorKind::Learned(_) => (0..n_ras)
+                .map(|j| {
+                    self.policy_overrides[j]
+                        .clone()
+                        .or_else(|| Some(PolicyCheckpoint::from_agent(&self.agents[j])))
+                })
+                .collect(),
+            OrchestratorKind::Taro => vec![None; n_ras],
+        };
         let project_actions = self.config.project_actions;
         let straggle_sleep = self.straggle_sleep;
         let mut workers: Vec<RaExecWorker<'_>> = Vec::with_capacity(n_ras);
         match self.kind {
             OrchestratorKind::Learned(_) => {
                 for (j, (env, agent)) in self.envs.iter_mut().zip(&self.agents).enumerate() {
-                    workers.push(RaExecWorker::new(
+                    let mut worker = RaExecWorker::new(
                         RaId(j),
                         env,
                         WorkerPolicy::Learned(agent),
                         injector,
-                        StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_ORCH, j as u64)),
+                        derive_stream_seed(master, DOMAIN_ORCH, j as u64),
                         period,
                         project_actions,
-                        start_round,
+                        round_base,
                         straggle_sleep,
-                    ));
+                    )
+                    .with_down_state(worker_state[j].was_down);
+                    if let Some(ckpt) = &self.policy_overrides[j] {
+                        worker = worker.with_restored_policy(ckpt.clone());
+                    }
+                    workers.push(worker);
                 }
             }
             OrchestratorKind::Taro => {
                 for (j, env) in self.envs.iter_mut().enumerate() {
-                    workers.push(RaExecWorker::new(
-                        RaId(j),
-                        env,
-                        WorkerPolicy::Taro(crate::Taro::new()),
-                        injector,
-                        StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_ORCH, j as u64)),
-                        period,
-                        project_actions,
-                        start_round,
-                        straggle_sleep,
-                    ));
+                    workers.push(
+                        RaExecWorker::new(
+                            RaId(j),
+                            env,
+                            WorkerPolicy::Taro(crate::Taro::new()),
+                            injector,
+                            derive_stream_seed(master, DOMAIN_ORCH, j as u64),
+                            period,
+                            project_actions,
+                            round_base,
+                            straggle_sleep,
+                        )
+                        .with_down_state(worker_state[j].was_down),
+                    );
                 }
             }
         }
@@ -541,11 +839,17 @@ impl EdgeSliceSystem {
             &self.config.slices,
             n_ras,
             period,
-            start_round,
-        );
+            round_base,
+        )
+        .with_state(worker_state, panic_counts.clone(), policies, prefix);
+        if let Some(store) = &self.store {
+            exec = exec.with_sink(store, self.checkpoint_every, master);
+        }
         Engine::new(self.scheduler)
             .with_deadline(self.round_deadline)
-            .run(&mut workers, &mut exec, max_rounds);
+            .with_supervisor(self.supervision)
+            .with_prior_panics(panic_counts)
+            .run_from(&mut workers, &mut exec, first_round, max_rounds);
         let report = exec.report;
         drop(workers);
         // Leave the substrates healthy for subsequent runs.
@@ -559,9 +863,25 @@ impl EdgeSliceSystem {
 /// One RA's training bundle: agent + env + private RNG stream, shippable
 /// to a worker thread as a unit.
 struct TrainUnit<'a> {
+    ra: RaId,
     agent: &'a mut OrchestrationAgent,
     env: &'a mut RaSliceEnv,
     rng: StdRng,
+}
+
+/// The state a resumed run re-enters the round loop with.
+struct ResumeState {
+    /// First engine-local round to execute.
+    first_round: usize,
+    /// Global round index of the interrupted run's round 0.
+    round_base: usize,
+    /// Per-RA round-boundary state from the snapshot.
+    worker_state: Vec<WorkerSnapshot>,
+    /// Caught panics per RA before the snapshot (restart budgets).
+    panic_counts: Vec<usize>,
+    /// The rounds (and supervision telemetry) completed before the
+    /// snapshot.
+    prefix: RunReport,
 }
 
 /// Projects a flat slice-major action onto per-resource capacity

@@ -106,6 +106,14 @@ impl ConvergenceTracker {
         Self::default()
     }
 
+    /// Rebuilds a tracker from a previously recorded residual history —
+    /// the restore half of a crash-consistent snapshot, so convergence
+    /// checks (`should_stop`) see the same round count and last residuals
+    /// a never-interrupted run would.
+    pub fn from_history(history: Vec<AdmmResiduals>) -> Self {
+        Self { history }
+    }
+
     /// Records a round's residuals.
     pub fn record(&mut self, residuals: AdmmResiduals) {
         self.history.push(residuals);
@@ -194,6 +202,11 @@ mod tests {
             });
         }
         assert!(t2.should_stop(&config), "round cap must stop the loop");
+
+        let restored = ConvergenceTracker::from_history(t2.history().to_vec());
+        assert_eq!(restored.rounds(), t2.rounds());
+        assert_eq!(restored.history(), t2.history());
+        assert!(restored.should_stop(&config));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The round-based executor: a coordinator task driving RA workers either
 //! inline (sequential) or across worker threads with typed `mpsc`
-//! channels and per-round deadlines.
+//! channels, per-round deadlines, and panic supervision.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
 use crate::msg::{Control, CoordInfo, RaReport};
+use crate::supervisor::{DownCause, Supervisor, SupervisorConfig, WorkerDown};
 use crate::Scheduler;
 
 /// One resource autonomy's execution state: everything the RA needs to run
@@ -26,6 +28,64 @@ pub trait RoundWorker: Send {
 
     /// Handles a control message (checkpoint, rejoin re-sync, shutdown).
     fn handle_control(&mut self, _ctl: &Control) {}
+
+    /// Called by the [`Supervisor`] after a panic was caught inside
+    /// [`RoundWorker::run_round`], before this worker is driven again.
+    /// Restore internal invariants to a servable state and return `true`
+    /// to accept further rounds; the default declines, which marks the
+    /// worker permanently dead ([`DownCause::RestartsExhausted`]).
+    fn recover(&mut self) -> bool {
+        false
+    }
+}
+
+/// Per-round engine telemetry handed to [`RoundCoordinator::collect`]
+/// alongside the report slots: which workers went down and why, how many
+/// reports were discarded, and whether the round ended on a deadline or a
+/// dead channel. Every failure the engine observes is in here — nothing
+/// is silently truncated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundTelemetry {
+    /// Typed worker failures observed this round, sorted by RA (so the
+    /// sequence is identical across schedulers).
+    pub downs: Vec<WorkerDown>,
+    /// Reports dropped this round because they were stale (an earlier
+    /// round's straggler), out of range (`ra >= n`), or a duplicate for
+    /// an already-settled slot.
+    pub discarded_reports: usize,
+    /// The round's wall-clock deadline expired before every slot settled
+    /// (a hung or genuinely slow worker).
+    pub deadline_expired: bool,
+    /// The report channel disconnected before every slot settled: every
+    /// worker thread is gone, which is a crash, not a missed deadline.
+    pub channel_disconnected: bool,
+}
+
+/// The outcome of an [`Engine::run`]: how many rounds ran plus the run's
+/// aggregated failure telemetry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Coordination rounds executed (possibly fewer than requested if the
+    /// coordinator stopped early).
+    pub rounds: usize,
+    /// Rounds whose wall-clock deadline expired with slots still open.
+    pub deadline_timeouts: usize,
+    /// Rounds that ended because the report channel disconnected — dead
+    /// worker threads, counted separately from deadline expiry.
+    pub disconnects: usize,
+    /// Total reports dropped as stale/malformed/duplicate across the run.
+    pub discarded_reports: usize,
+    /// Every typed worker-down event observed across the run.
+    pub downs: Vec<WorkerDown>,
+}
+
+impl EngineReport {
+    fn absorb(&mut self, telemetry: &RoundTelemetry) {
+        self.deadline_timeouts += usize::from(telemetry.deadline_expired);
+        self.disconnects += usize::from(telemetry.channel_disconnected);
+        self.discarded_reports += telemetry.discarded_reports;
+        self.downs.extend(telemetry.downs.iter().cloned());
+    }
 }
 
 /// The coordinator side of the round protocol: produce the downstream
@@ -37,11 +97,16 @@ pub trait RoundCoordinator {
     /// The per-RA `z − y` payloads for `round` (indexed by RA).
     fn broadcast(&mut self, round: usize) -> Vec<Vec<f64>>;
 
-    /// Folds this round's reports, indexed by RA. `None` means the RA's
-    /// report missed the round's wall-clock deadline entirely (it will be
-    /// dropped as stale if it straggles in later). Returns `true` to stop
-    /// the run (e.g. on convergence).
-    fn collect(&mut self, round: usize, reports: Vec<Option<RaReport<Self::Body>>>) -> bool;
+    /// Folds this round's reports, indexed by RA. `None` means the RA
+    /// produced no report — the reason (worker down, missed deadline,
+    /// dead channel) is in `telemetry`. Returns `true` to stop the run
+    /// (e.g. on convergence).
+    fn collect(
+        &mut self,
+        round: usize,
+        reports: Vec<Option<RaReport<Self::Body>>>,
+        telemetry: &RoundTelemetry,
+    ) -> bool;
 }
 
 /// Commands sent to a worker thread.
@@ -52,22 +117,37 @@ enum ToWorker {
     Control(Control),
 }
 
+/// Messages flowing back from worker threads: a healthy (or dark /
+/// straggling) report, or a typed supervision event for a worker that
+/// panicked and could not report at all.
+enum FromWorker<B> {
+    Report(RaReport<B>),
+    Down(WorkerDown),
+}
+
 /// The round-based execution engine. See the crate docs for the
 /// determinism contract.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Engine {
     scheduler: Scheduler,
     deadline: Duration,
+    supervision: SupervisorConfig,
+    /// Panics each worker slot suffered in an earlier interrupted run;
+    /// seeds the supervisors on resume (empty for fresh runs).
+    prior_panics: Vec<usize>,
 }
 
 impl Engine {
     /// An engine on `scheduler` with the default 30 s per-round deadline —
     /// generous enough that only a hung worker ever misses it, which keeps
-    /// healthy runs deterministic across schedulers.
+    /// healthy runs deterministic across schedulers — and the default
+    /// supervision policy.
     pub fn new(scheduler: Scheduler) -> Self {
         Self {
             scheduler,
             deadline: Duration::from_secs(30),
+            supervision: SupervisorConfig::default(),
+            prior_panics: Vec::new(),
         }
     }
 
@@ -80,20 +160,65 @@ impl Engine {
         self
     }
 
+    /// Sets the panic-supervision policy (restart budget and backoff).
+    #[must_use]
+    pub fn with_supervisor(mut self, supervision: SupervisorConfig) -> Self {
+        self.supervision = supervision;
+        self
+    }
+
+    /// Seeds the supervisors with the panic counts an earlier interrupted
+    /// run accumulated per worker slot (missing slots count zero), so a
+    /// resumed run applies the same restart budget the original would
+    /// have: a slot that exhausted its budget before the interruption
+    /// stays dead after it.
+    #[must_use]
+    pub fn with_prior_panics(mut self, counts: Vec<usize>) -> Self {
+        self.prior_panics = counts;
+        self
+    }
+
+    /// The prior panic count for worker slot `j`.
+    fn prior_panics_for(&self, j: usize) -> usize {
+        self.prior_panics.get(j).copied().unwrap_or(0)
+    }
+
     /// The scheduler in effect.
     pub fn scheduler(&self) -> Scheduler {
         self.scheduler
     }
 
     /// Runs up to `max_rounds` coordination rounds over `workers`, driving
-    /// `coord` on the calling thread. Returns the number of rounds run
-    /// (possibly fewer than `max_rounds` if `coord` stopped early).
+    /// `coord` on the calling thread.
     ///
     /// # Panics
     ///
     /// Panics if `workers[j].ra() != j` for some `j` (the report
     /// collection indexes slots by RA).
-    pub fn run<W, C>(&self, workers: &mut [W], coord: &mut C, max_rounds: usize) -> usize
+    pub fn run<W, C>(&self, workers: &mut [W], coord: &mut C, max_rounds: usize) -> EngineReport
+    where
+        W: RoundWorker,
+        C: RoundCoordinator<Body = W::Body>,
+    {
+        self.run_from(workers, coord, 0, max_rounds)
+    }
+
+    /// Runs coordination rounds `first_round..end_round` — the resume
+    /// entry point: a run interrupted after round `r` restarts with
+    /// `first_round == r + 1` and every broadcast/report keeps the round
+    /// indices (and therefore the per-round RNG streams) of the original
+    /// run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers[j].ra() != j` for some `j`.
+    pub fn run_from<W, C>(
+        &self,
+        workers: &mut [W],
+        coord: &mut C,
+        first_round: usize,
+        end_round: usize,
+    ) -> EngineReport
     where
         W: RoundWorker,
         C: RoundCoordinator<Body = W::Body>,
@@ -101,24 +226,37 @@ impl Engine {
         for (j, w) in workers.iter().enumerate() {
             assert_eq!(w.ra(), j, "workers must be sorted by RA index");
         }
-        if workers.is_empty() || max_rounds == 0 {
-            return 0;
+        if workers.is_empty() || first_round >= end_round {
+            return EngineReport::default();
         }
         match self.scheduler {
-            Scheduler::Sequential => self.run_sequential(workers, coord, max_rounds),
-            Scheduler::Threaded(_) => self.run_threaded(workers, coord, max_rounds),
+            Scheduler::Sequential => self.run_sequential(workers, coord, first_round, end_round),
+            Scheduler::Threaded(_) => self.run_threaded(workers, coord, first_round, end_round),
         }
     }
 
-    /// The reference topology: every worker inline, in RA order.
-    fn run_sequential<W, C>(&self, workers: &mut [W], coord: &mut C, max_rounds: usize) -> usize
+    /// The reference topology: every worker inline, in RA order, each
+    /// round guarded by the supervisor so a panic downs one RA instead of
+    /// unwinding through the whole run.
+    fn run_sequential<W, C>(
+        &self,
+        workers: &mut [W],
+        coord: &mut C,
+        first_round: usize,
+        end_round: usize,
+    ) -> EngineReport
     where
         W: RoundWorker,
         C: RoundCoordinator<Body = W::Body>,
     {
-        let mut rounds_run = 0;
-        for round in 0..max_rounds {
+        let counts: Vec<usize> = (0..workers.len())
+            .map(|j| self.prior_panics_for(j))
+            .collect();
+        let mut supervisor = Supervisor::with_panic_counts(self.supervision, &counts);
+        let mut report = EngineReport::default();
+        for round in first_round..end_round {
             let zys = coord.broadcast(round);
+            let mut telemetry = RoundTelemetry::default();
             let reports = workers
                 .iter_mut()
                 .enumerate()
@@ -128,24 +266,39 @@ impl Engine {
                         ra: j,
                         zy: zys[j].clone(),
                     };
-                    Some(w.run_round(&info))
+                    match supervisor.guard(j, w, &info) {
+                        Ok(rep) => Some(rep),
+                        Err(down) => {
+                            telemetry.downs.push(down);
+                            None
+                        }
+                    }
                 })
                 .collect();
-            rounds_run = round + 1;
-            if coord.collect(round, reports) {
+            report.rounds = round - first_round + 1;
+            report.absorb(&telemetry);
+            if coord.collect(round, reports, &telemetry) {
                 break;
             }
         }
         for w in workers.iter_mut() {
-            w.handle_control(&Control::Shutdown);
+            let _ = catch_unwind(AssertUnwindSafe(|| w.handle_control(&Control::Shutdown)));
         }
-        rounds_run
+        report
     }
 
     /// The decentralized topology: worker threads own contiguous RA
     /// shards; the coordinator broadcasts, then gathers reports from a
-    /// shared channel under the per-round deadline.
-    fn run_threaded<W, C>(&self, workers: &mut [W], coord: &mut C, max_rounds: usize) -> usize
+    /// shared channel under the per-round deadline. Each shard thread
+    /// runs its own supervisor with the same per-slot policy as the
+    /// sequential path, so panic semantics are scheduler-invariant.
+    fn run_threaded<W, C>(
+        &self,
+        workers: &mut [W],
+        coord: &mut C,
+        first_round: usize,
+        end_round: usize,
+    ) -> EngineReport
     where
         W: RoundWorker,
         C: RoundCoordinator<Body = W::Body>,
@@ -153,19 +306,23 @@ impl Engine {
         let n = workers.len();
         let n_threads = self.scheduler.threads(n);
         let chunk_size = n.div_ceil(n_threads.max(1));
+        let supervision = self.supervision;
         std::thread::scope(|s| {
-            let (rep_tx, rep_rx) = mpsc::channel::<RaReport<W::Body>>();
+            let (rep_tx, rep_rx) = mpsc::channel::<FromWorker<W::Body>>();
             let mut cmd_txs = Vec::with_capacity(n_threads);
-            for shard in workers.chunks_mut(chunk_size) {
+            for (ci, shard) in workers.chunks_mut(chunk_size).enumerate() {
                 let (cmd_tx, cmd_rx) = mpsc::channel::<ToWorker>();
                 cmd_txs.push(cmd_tx);
                 let rep_tx = rep_tx.clone();
-                s.spawn(move || worker_loop(shard, &cmd_rx, &rep_tx));
+                let prior: Vec<usize> = (0..shard.len())
+                    .map(|k| self.prior_panics_for(ci * chunk_size + k))
+                    .collect();
+                s.spawn(move || worker_loop(shard, &cmd_rx, &rep_tx, supervision, prior));
             }
             drop(rep_tx);
 
-            let mut rounds_run = 0;
-            for round in 0..max_rounds {
+            let mut report = EngineReport::default();
+            for round in first_round..end_round {
                 let zys = coord.broadcast(round);
                 for (ci, cmd_tx) in cmd_txs.iter().enumerate() {
                     let lo = ci * chunk_size;
@@ -177,69 +334,123 @@ impl Engine {
                             zy: zys[j].clone(),
                         })
                         .collect();
-                    // A dead thread surfaces as missing reports below.
+                    // A dead thread surfaces as a disconnect below.
                     let _ = cmd_tx.send(ToWorker::Round(infos));
                 }
 
                 let mut slots: Vec<Option<RaReport<W::Body>>> = (0..n).map(|_| None).collect();
-                let mut received = 0;
+                let mut down_marked = vec![false; n];
+                let mut telemetry = RoundTelemetry::default();
+                // A slot settles on its report *or* its down event; the
+                // round ends when all slots settle, the deadline expires,
+                // or every worker thread is gone.
+                let mut settled = 0;
                 let deadline = Instant::now() + self.deadline;
-                while received < n {
+                while settled < n {
                     let remaining = deadline.saturating_duration_since(Instant::now());
                     match rep_rx.recv_timeout(remaining) {
-                        Ok(rep) if rep.round == round && rep.ra < n && slots[rep.ra].is_none() => {
+                        Ok(FromWorker::Report(rep))
+                            if rep.round == round
+                                && rep.ra < n
+                                && slots[rep.ra].is_none()
+                                && !down_marked[rep.ra] =>
+                        {
                             let ra = rep.ra;
                             slots[ra] = Some(rep);
-                            received += 1;
+                            settled += 1;
+                        }
+                        Ok(FromWorker::Down(down))
+                            if down.round == round
+                                && down.ra < n
+                                && slots[down.ra].is_none()
+                                && !down_marked[down.ra] =>
+                        {
+                            down_marked[down.ra] = true;
+                            settled += 1;
+                            telemetry.downs.push(down);
                         }
                         // A stale report from a worker that missed an
-                        // earlier deadline: superseded, drop it.
-                        Ok(_) => {}
-                        Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                        // earlier deadline, an out-of-range RA, or a
+                        // duplicate for a settled slot: dropped, but
+                        // counted — never a silent discard.
+                        Ok(_) => telemetry.discarded_reports += 1,
+                        Err(RecvTimeoutError::Timeout) => {
+                            telemetry.deadline_expired = true;
+                            break;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => {
+                            // Every sender hung up: the unsettled workers
+                            // are not late, they are *gone*. Report each
+                            // one down instead of conflating this with a
+                            // deadline miss.
+                            telemetry.channel_disconnected = true;
+                            for (ra, slot) in slots.iter().enumerate() {
+                                if slot.is_none() && !down_marked[ra] {
+                                    telemetry.downs.push(WorkerDown {
+                                        ra,
+                                        round,
+                                        cause: DownCause::Disconnected,
+                                    });
+                                }
+                            }
                             break;
                         }
                     }
                 }
-                rounds_run = round + 1;
-                if coord.collect(round, slots) {
+                // Down events from different shards interleave in arrival
+                // order; sort by RA so the telemetry sequence is identical
+                // to the sequential path's.
+                telemetry.downs.sort_by_key(|d| d.ra);
+                report.rounds = round - first_round + 1;
+                report.absorb(&telemetry);
+                if coord.collect(round, slots, &telemetry) {
                     break;
                 }
             }
             for cmd_tx in &cmd_txs {
                 let _ = cmd_tx.send(ToWorker::Control(Control::Shutdown));
             }
-            rounds_run
+            report
         })
     }
 }
 
 /// The per-thread worker loop: serve round commands for this thread's RA
-/// shard until shutdown (explicit, or the command channel closing).
+/// shard until shutdown (explicit, or the command channel closing). Every
+/// `run_round` and control delivery is guarded, so one panicking worker
+/// downs only its own RA — the shard thread and its channel stay alive.
 fn worker_loop<W: RoundWorker>(
     shard: &mut [W],
     cmd_rx: &Receiver<ToWorker>,
-    rep_tx: &Sender<RaReport<W::Body>>,
+    rep_tx: &Sender<FromWorker<W::Body>>,
+    supervision: SupervisorConfig,
+    prior_panics: Vec<usize>,
 ) {
     let base = shard.first().map_or(0, RoundWorker::ra);
+    let mut supervisor = Supervisor::with_panic_counts(supervision, &prior_panics);
     loop {
         match cmd_rx.recv() {
             Ok(ToWorker::Round(infos)) => {
                 for info in infos {
-                    let report = shard[info.ra - base].run_round(&info);
-                    if rep_tx.send(report).is_err() {
+                    let slot = info.ra - base;
+                    let msg = match supervisor.guard(slot, &mut shard[slot], &info) {
+                        Ok(rep) => FromWorker::Report(rep),
+                        Err(down) => FromWorker::Down(down),
+                    };
+                    if rep_tx.send(msg).is_err() {
                         return; // Coordinator gone; nothing left to serve.
                     }
                 }
             }
             Ok(ToWorker::Control(Control::Shutdown)) | Err(_) => {
                 for w in shard.iter_mut() {
-                    w.handle_control(&Control::Shutdown);
+                    let _ = catch_unwind(AssertUnwindSafe(|| w.handle_control(&Control::Shutdown)));
                 }
                 return;
             }
             Ok(ToWorker::Control(ctl)) => {
                 for w in shard.iter_mut() {
-                    w.handle_control(&ctl);
+                    let _ = catch_unwind(AssertUnwindSafe(|| w.handle_control(&ctl)));
                 }
             }
         }
@@ -291,6 +502,10 @@ mod tests {
         dark: Vec<usize>,
         /// Rounds this worker straggles (flags `deadline_missed`).
         late: Vec<usize>,
+        /// Rounds this worker panics mid-round.
+        panics: Vec<usize>,
+        /// Whether `recover` accepts a restart after a caught panic.
+        recoverable: bool,
     }
 
     impl RoundWorker for EchoWorker {
@@ -309,6 +524,12 @@ mod tests {
                     body: None,
                 };
             }
+            assert!(
+                !self.panics.contains(&info.round),
+                "injected panic: ra {} round {}",
+                self.ra,
+                info.round
+            );
             self.state = crate::derive_stream_seed(self.state, crate::DOMAIN_ORCH, 1);
             RaReport {
                 ra: self.ra,
@@ -316,6 +537,10 @@ mod tests {
                 deadline_missed: self.late.contains(&info.round),
                 body: Some((self.state, info.zy.clone())),
             }
+        }
+
+        fn recover(&mut self) -> bool {
+            self.recoverable
         }
     }
 
@@ -336,10 +561,22 @@ mod tests {
                 .collect()
         }
 
-        fn collect(&mut self, round: usize, reports: Vec<Option<RaReport<Self::Body>>>) -> bool {
+        fn collect(
+            &mut self,
+            round: usize,
+            reports: Vec<Option<RaReport<Self::Body>>>,
+            telemetry: &RoundTelemetry,
+        ) -> bool {
             for (j, rep) in reports.iter().enumerate() {
                 self.log.push(format!("{round}/{j}: {rep:?}"));
             }
+            for down in &telemetry.downs {
+                self.log.push(format!("{round}/down: {down}"));
+            }
+            self.log.push(format!(
+                "{round}/discarded: {}",
+                telemetry.discarded_reports
+            ));
             self.stop_after.is_some_and(|r| round + 1 >= r)
         }
     }
@@ -351,8 +588,17 @@ mod tests {
                 state: j as u64,
                 dark: if j == 1 { vec![2, 3] } else { vec![] },
                 late: if j == 0 { vec![1] } else { vec![] },
+                panics: vec![],
+                recoverable: true,
             })
             .collect()
+    }
+
+    fn fast_supervision() -> SupervisorConfig {
+        SupervisorConfig {
+            backoff_base: Duration::ZERO,
+            ..Default::default()
+        }
     }
 
     fn run_with(scheduler: Scheduler, n: usize, rounds: usize) -> Vec<String> {
@@ -361,8 +607,8 @@ mod tests {
             n_ras: n,
             ..Default::default()
         };
-        let ran = Engine::new(scheduler).run(&mut ws, &mut coord, rounds);
-        assert_eq!(ran, rounds);
+        let report = Engine::new(scheduler).run(&mut ws, &mut coord, rounds);
+        assert_eq!(report.rounds, rounds);
         coord.log
     }
 
@@ -387,8 +633,8 @@ mod tests {
                 stop_after: Some(2),
                 ..Default::default()
             };
-            let ran = Engine::new(scheduler).run(&mut ws, &mut coord, 10);
-            assert_eq!(ran, 2, "{scheduler}: wrong round count");
+            let report = Engine::new(scheduler).run(&mut ws, &mut coord, 10);
+            assert_eq!(report.rounds, 2, "{scheduler}: wrong round count");
         }
     }
 
@@ -407,6 +653,165 @@ mod tests {
     }
 
     #[test]
+    fn run_from_continues_round_indices_and_worker_state() {
+        // A run split at round 3 must replay rounds 3..6 with the same
+        // broadcasts and (because EchoWorker state carries over in place)
+        // the same report payloads as the tail of a one-shot run.
+        let full = run_with(Scheduler::Sequential, 4, 6);
+        let mut ws = workers(4);
+        let mut coord = RecordingCoordinator {
+            n_ras: 4,
+            ..Default::default()
+        };
+        let engine = Engine::new(Scheduler::Sequential);
+        let head = engine.run_from(&mut ws, &mut coord, 0, 3);
+        assert_eq!(head.rounds, 3);
+        let tail = engine.run_from(&mut ws, &mut coord, 3, 6);
+        assert_eq!(tail.rounds, 3);
+        assert_eq!(coord.log, full);
+    }
+
+    #[test]
+    fn panicking_worker_is_downed_not_fatal_and_scheduler_invariant() {
+        let run = |scheduler: Scheduler| {
+            let mut ws = workers(4);
+            ws[2].panics = vec![1, 3];
+            let mut coord = RecordingCoordinator {
+                n_ras: 4,
+                ..Default::default()
+            };
+            let report = Engine::new(scheduler)
+                .with_supervisor(fast_supervision())
+                .run(&mut ws, &mut coord, 5);
+            (report, coord.log)
+        };
+        let (seq_report, seq_log) = run(Scheduler::Sequential);
+        assert_eq!(seq_report.rounds, 5, "panics must not end the run");
+        assert_eq!(seq_report.downs.len(), 2);
+        assert!(seq_report
+            .downs
+            .iter()
+            .all(|d| d.ra == 2 && matches!(d.cause, DownCause::Panic(_))));
+        for threads in [1, 2, 4] {
+            let (rep, log) = run(Scheduler::Threaded(threads));
+            assert_eq!(rep.downs, seq_report.downs, "threaded({threads}) downs");
+            assert_eq!(log, seq_log, "threaded({threads}) log diverged");
+        }
+    }
+
+    #[test]
+    fn unrecoverable_panic_reports_down_every_remaining_round() {
+        let mut ws = workers(3);
+        ws[1].panics = vec![1];
+        ws[1].recoverable = false;
+        ws[1].dark = vec![]; // isolate the panic path
+        let mut coord = RecordingCoordinator {
+            n_ras: 3,
+            ..Default::default()
+        };
+        let report = Engine::new(Scheduler::Threaded(2))
+            .with_supervisor(fast_supervision())
+            .run(&mut ws, &mut coord, 5);
+        assert_eq!(report.rounds, 5);
+        // Round 1: the panic. Rounds 2..5: explicit RestartsExhausted —
+        // the failure is re-reported, never silently truncated.
+        assert_eq!(report.downs.len(), 4);
+        assert!(matches!(report.downs[0].cause, DownCause::Panic(_)));
+        assert!(report.downs[1..]
+            .iter()
+            .all(|d| d.cause == DownCause::RestartsExhausted));
+        assert_eq!(report.deadline_timeouts, 0, "downs are not deadline misses");
+        assert_eq!(report.disconnects, 0);
+    }
+
+    #[test]
+    fn prior_panic_counts_resume_the_restart_budget() {
+        // One-shot run: RA 1 panics in rounds 0..4 with max_restarts = 3,
+        // so the 4th panic exhausts the budget and rounds 4.. report
+        // RestartsExhausted.
+        let full = {
+            let mut ws = workers(3);
+            ws[1].panics = (0..4).collect();
+            ws[1].dark = vec![];
+            let mut coord = RecordingCoordinator {
+                n_ras: 3,
+                ..Default::default()
+            };
+            let report = Engine::new(Scheduler::Sequential)
+                .with_supervisor(fast_supervision())
+                .run(&mut ws, &mut coord, 6);
+            (report.downs, coord.log)
+        };
+        // Split run: rounds 0..3 (3 panics), then resume 3..6 carrying the
+        // panic count — the tail must be byte-identical to the one-shot's.
+        let mut ws = workers(3);
+        ws[1].panics = (0..4).collect();
+        ws[1].dark = vec![];
+        let mut coord = RecordingCoordinator {
+            n_ras: 3,
+            ..Default::default()
+        };
+        let engine = Engine::new(Scheduler::Sequential).with_supervisor(fast_supervision());
+        let head = engine.run_from(&mut ws, &mut coord, 0, 3);
+        assert_eq!(head.downs.len(), 3);
+        let resumed = engine
+            .clone()
+            .with_prior_panics(vec![0, 3, 0])
+            .run_from(&mut ws, &mut coord, 3, 6);
+        let mut downs = head.downs;
+        downs.extend(resumed.downs);
+        assert_eq!(downs, full.0);
+        assert_eq!(coord.log, full.1);
+        assert!(matches!(downs[3].cause, DownCause::Panic(_)));
+        assert_eq!(downs[4].cause, DownCause::RestartsExhausted);
+    }
+
+    #[test]
+    fn telemetry_counts_disconnects_apart_from_deadlines() {
+        // Satellite check: the two channel-failure modes accumulate into
+        // distinct counters, never conflated.
+        let mut report = EngineReport::default();
+        report.absorb(&RoundTelemetry {
+            deadline_expired: true,
+            ..Default::default()
+        });
+        report.absorb(&RoundTelemetry {
+            channel_disconnected: true,
+            ..Default::default()
+        });
+        report.absorb(&RoundTelemetry {
+            discarded_reports: 2,
+            ..Default::default()
+        });
+        assert_eq!(report.deadline_timeouts, 1);
+        assert_eq!(report.disconnects, 1);
+        assert_eq!(report.discarded_reports, 2);
+    }
+
+    #[test]
+    fn empty_and_zero_round_runs_are_no_ops() {
+        let mut ws: Vec<EchoWorker> = Vec::new();
+        let mut coord = RecordingCoordinator::default();
+        assert_eq!(
+            Engine::new(Scheduler::Threaded(4))
+                .run(&mut ws, &mut coord, 5)
+                .rounds,
+            0
+        );
+        let mut ws = workers(2);
+        let mut coord = RecordingCoordinator {
+            n_ras: 2,
+            ..Default::default()
+        };
+        assert_eq!(
+            Engine::new(Scheduler::Sequential)
+                .run(&mut ws, &mut coord, 0)
+                .rounds,
+            0
+        );
+    }
+
+    #[test]
     fn par_map_is_scheduler_invariant() {
         let run = |scheduler| {
             let mut items: Vec<u64> = (0..17).map(|i| i * 3).collect();
@@ -419,24 +824,5 @@ mod tests {
         for threads in [1, 2, 4, 16, 32] {
             assert_eq!(run(Scheduler::Threaded(threads)), baseline);
         }
-    }
-
-    #[test]
-    fn empty_and_zero_round_runs_are_no_ops() {
-        let mut ws: Vec<EchoWorker> = Vec::new();
-        let mut coord = RecordingCoordinator::default();
-        assert_eq!(
-            Engine::new(Scheduler::Threaded(4)).run(&mut ws, &mut coord, 5),
-            0
-        );
-        let mut ws = workers(2);
-        let mut coord = RecordingCoordinator {
-            n_ras: 2,
-            ..Default::default()
-        };
-        assert_eq!(
-            Engine::new(Scheduler::Sequential).run(&mut ws, &mut coord, 0),
-            0
-        );
     }
 }

@@ -30,10 +30,18 @@
 //!    is a real missed message, not a simulated flag. Injected stragglers
 //!    additionally mark their reports [`RaReport::deadline_missed`] so
 //!    fault schedules stay deterministic across schedulers.
+//! 4. **Supervision** — every `run_round` call is guarded by a
+//!    [`Supervisor`]: a panicking worker is caught, restarted under a
+//!    bounded exponential-backoff budget, and surfaced to the coordinator
+//!    as a typed [`WorkerDown`] event in the per-round [`RoundTelemetry`]
+//!    (alongside counts of discarded stale/malformed reports and the
+//!    deadline-vs-disconnect distinction). A crash is data, not absence.
 //!
 //! Determinism contract: with per-worker RNG streams, no wall-clock
 //! deadline expiry, and deterministic workers, `Sequential` and
-//! `Threaded(n)` produce identical report sequences for every `n`.
+//! `Threaded(n)` produce identical report sequences for every `n` — a
+//! contract that extends to deterministic (injected) panics, because both
+//! schedulers run the same supervisor policy per worker slot.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -41,10 +49,12 @@
 mod engine;
 mod msg;
 mod seed;
+mod supervisor;
 
-pub use engine::{par_map, Engine, RoundCoordinator, RoundWorker};
+pub use engine::{par_map, Engine, EngineReport, RoundCoordinator, RoundTelemetry, RoundWorker};
 pub use msg::{Control, CoordInfo, RaReport};
-pub use seed::{derive_stream_seed, DOMAIN_FAULTS, DOMAIN_ORCH, DOMAIN_TRAIN};
+pub use seed::{derive_stream_seed, DOMAIN_FAULTS, DOMAIN_ORCH, DOMAIN_ROUND, DOMAIN_TRAIN};
+pub use supervisor::{DownCause, Supervisor, SupervisorConfig, WorkerDown};
 
 /// How the engine maps RA workers onto OS threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -20,6 +20,13 @@ pub const DOMAIN_TRAIN: u64 = 0x0E5E_0002_0000_0001;
 /// traffic or learning streams).
 pub const DOMAIN_FAULTS: u64 = 0x0E5E_0003_0000_0001;
 
+/// Domain tag for per-round re-derivation of a worker's stream: seeding
+/// round `r` from `derive_stream_seed(worker_stream, DOMAIN_ROUND, r)`
+/// makes a worker's RNG state a pure function of `(master, ra, round)` —
+/// the property that lets a resumed or respawned worker rejoin mid-run
+/// with bit-identical draws, without replaying every earlier round.
+pub const DOMAIN_ROUND: u64 = 0x0E5E_0004_0000_0001;
+
 /// Derives the seed of stream `index` in `domain` from `master`.
 ///
 /// Properties relied on by the runtime:
@@ -61,6 +68,7 @@ mod tests {
         let base = derive_stream_seed(7, DOMAIN_ORCH, 0);
         assert_ne!(base, derive_stream_seed(7, DOMAIN_TRAIN, 0));
         assert_ne!(base, derive_stream_seed(7, DOMAIN_FAULTS, 0));
+        assert_ne!(base, derive_stream_seed(7, DOMAIN_ROUND, 0));
         assert_ne!(base, derive_stream_seed(7, DOMAIN_ORCH, 1));
         assert_ne!(base, derive_stream_seed(8, DOMAIN_ORCH, 0));
     }
@@ -69,7 +77,7 @@ mod tests {
     fn no_collisions_over_a_small_grid() {
         let mut seen = std::collections::BTreeSet::new();
         for master in 0..8u64 {
-            for domain in [DOMAIN_ORCH, DOMAIN_TRAIN, DOMAIN_FAULTS] {
+            for domain in [DOMAIN_ORCH, DOMAIN_TRAIN, DOMAIN_FAULTS, DOMAIN_ROUND] {
                 for index in 0..64u64 {
                     assert!(
                         seen.insert(derive_stream_seed(master, domain, index)),

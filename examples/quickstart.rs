@@ -39,7 +39,7 @@ fn main() {
     );
     edgeslice.set_scheduler(scheduler);
     println!("training orchestration agents (scaled-down schedule, {scheduler})...");
-    edgeslice.train(8_000, &mut rng);
+    edgeslice.train(20_000, &mut rng);
     let report = edgeslice.run(10, &mut rng);
 
     // TARO baseline on an identically-seeded system.
