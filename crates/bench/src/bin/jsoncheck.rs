@@ -1,0 +1,58 @@
+//! CI helper: asserts a benchmark JSON artifact parses and, optionally,
+//! that a top-level numeric field clears a minimum.
+//!
+//! Usage: `jsoncheck <path> [<field> [<min>]]`
+//!
+//! - With just `<path>`: the file must be valid JSON.
+//! - With `<field>`: the document must be an object with that top-level
+//!   field, and the field must be a finite number.
+//! - With `<min>`: additionally `field >= min` (default 1.0).
+//!
+//! Exits non-zero (via panic) on any violation, which is exactly what a CI
+//! step wants.
+
+use serde::Value;
+
+fn numeric(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .expect("usage: jsoncheck <path> [<field> [<min>]]");
+    let field = args.next();
+    let min: f64 = args
+        .next()
+        .map(|m| m.parse().expect("<min> must be a number"))
+        .unwrap_or(1.0);
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let value = serde_json::parse_value(&text)
+        .unwrap_or_else(|e| panic!("{path} is not valid JSON: {e:?}"));
+    println!("{path}: parses");
+
+    if let Some(field) = field {
+        let Value::Object(fields) = &value else {
+            panic!("{path}: top level is not an object");
+        };
+        let found = fields
+            .iter()
+            .find(|(k, _)| *k == field)
+            .unwrap_or_else(|| panic!("{path}: missing field {field:?}"));
+        let n =
+            numeric(&found.1).unwrap_or_else(|| panic!("{path}: field {field:?} is not numeric"));
+        assert!(n.is_finite(), "{path}: field {field:?} is not finite");
+        assert!(
+            n >= min,
+            "{path}: {field} = {n} is below the required minimum {min}"
+        );
+        println!("{path}: {field} = {n} >= {min}");
+    }
+}

@@ -12,6 +12,10 @@ use crate::{RaId, RaSliceEnv};
 
 /// The learning backend of an orchestration agent. DDPG is the paper's
 /// technique; the others are the Fig. 10b comparators.
+// `Ddpg` carries its scratch arena and reusable sample batch inline, so the
+// variant is big — but there is exactly one backend per RA (never arrays of
+// them), and boxing would put an indirection on the training hot path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum AgentBackend {
     /// Deep deterministic policy gradient (the paper's choice).
@@ -67,6 +71,16 @@ impl OrchestrationAgent {
             Technique::Vpg => AgentBackend::Vpg(Vpg::new(sd, ad, config.vpg, rng)),
         };
         Self { ra, backend }
+    }
+
+    /// Wraps an already-trained DDPG learner as the agent for RA `ra` —
+    /// e.g. to checkpoint a learner that was trained outside the system
+    /// harness (the kernel-equivalence tests train bare [`Ddpg`] pairs).
+    pub fn from_ddpg(ra: RaId, ddpg: Ddpg) -> Self {
+        Self {
+            ra,
+            backend: AgentBackend::Ddpg(ddpg),
+        }
     }
 
     /// The RA this agent orchestrates.

@@ -93,6 +93,35 @@ impl Activation {
     pub fn backward(self, m: &Matrix) -> Matrix {
         m.map(|x| self.derivative(x))
     }
+
+    /// Applies the activation element-wise, writing into `out` (resized as
+    /// needed). Bit-identical to [`Activation::forward`], allocation-free.
+    pub fn forward_into(self, z: &Matrix, out: &mut Matrix) {
+        out.resize_for(z.rows(), z.cols());
+        for (o, &x) in out.as_mut_slice().iter_mut().zip(z.as_slice()) {
+            *o = self.eval(x);
+        }
+    }
+
+    /// Writes `d_out ⊙ act'(z)` into `dz` (resized as needed): the fused
+    /// form of `d_out.hadamard(&act.backward(z))` with the same per-element
+    /// multiply order, so results are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` and `d_out` shapes differ.
+    pub fn backward_weighted_into(self, z: &Matrix, d_out: &Matrix, dz: &mut Matrix) {
+        assert_eq!(z.shape(), d_out.shape(), "backward_weighted shape mismatch");
+        dz.resize_for(z.rows(), z.cols());
+        for ((o, &d), &x) in dz
+            .as_mut_slice()
+            .iter_mut()
+            .zip(d_out.as_slice())
+            .zip(z.as_slice())
+        {
+            *o = d * self.derivative(x);
+        }
+    }
 }
 
 /// Numerically stable logistic sigmoid.

@@ -34,6 +34,13 @@ impl DenseGrad {
         }
     }
 
+    /// Reshapes this gradient to match `layer`, reusing allocations.
+    /// Values are unspecified afterwards; callers overwrite them.
+    pub fn resize_like(&mut self, layer: &Dense) {
+        self.weights.resize_for(layer.out_dim(), layer.in_dim());
+        self.bias.resize(layer.out_dim(), 0.0);
+    }
+
     /// `self += alpha * other`.
     pub fn axpy(&mut self, alpha: f64, other: &DenseGrad) {
         self.weights.axpy(alpha, &other.weights);
@@ -148,6 +155,55 @@ impl Dense {
             },
             dx,
         )
+    }
+
+    /// Fused forward pass writing the pre-activation into `z` and the
+    /// activated output into `out` (both resized as needed).
+    ///
+    /// Bit-identical to [`Dense::pre_activation`] + [`Dense::forward`]: the
+    /// product runs through [`Matrix::matmul_a_bt_into`], which preserves
+    /// the per-element accumulation order of [`Matrix::matmul_nt`].
+    pub fn forward_into(&self, x: &Matrix, z: &mut Matrix, out: &mut Matrix) {
+        x.matmul_a_bt_into(&self.weights, z);
+        z.add_row_broadcast(&self.bias);
+        self.activation.forward_into(z, out);
+    }
+
+    /// Backward pass into caller-owned buffers: parameter gradients into
+    /// `grad`, the activation-weighted delta into `dz`, and `∂L/∂x` into
+    /// `dx`. Bit-identical to [`Dense::backward`], allocation-free once the
+    /// buffers have warmed up.
+    pub fn backward_into(
+        &self,
+        x: &Matrix,
+        z: &Matrix,
+        d_out: &Matrix,
+        grad: &mut DenseGrad,
+        dz: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
+        self.activation.backward_weighted_into(z, d_out, dz);
+        grad.resize_like(self);
+        dz.matmul_at_b_into(x, &mut grad.weights);
+        dz.sum_rows_into(&mut grad.bias);
+        dz.matmul_into(&self.weights, dx);
+    }
+
+    /// Input-gradient-only backward pass: like [`Dense::backward_into`] but
+    /// skips the parameter gradients (`dW`, `db`). Used when a network is
+    /// differentiated purely to obtain `∂L/∂input` — e.g. backing the DDPG
+    /// actor objective through a frozen critic — where computing `dW` would
+    /// be wasted work. `dx` is bit-identical to the full backward pass
+    /// because it depends only on `dz` and the weights.
+    pub fn backward_input_into(
+        &self,
+        z: &Matrix,
+        d_out: &Matrix,
+        dz: &mut Matrix,
+        dx: &mut Matrix,
+    ) {
+        self.activation.backward_weighted_into(z, d_out, dz);
+        dz.matmul_into(&self.weights, dx);
     }
 
     /// `self ← (1 - tau) * self + tau * source` (Polyak/soft target update).

@@ -48,5 +48,5 @@ pub use activation::{sigmoid, softplus, Activation};
 pub use init::Init;
 pub use layer::{Dense, DenseGrad};
 pub use matrix::Matrix;
-pub use network::{ForwardCache, Gradients, Mlp};
-pub use optimizer::{mse_loss, Adam, Sgd};
+pub use network::{ForwardCache, Gradients, Mlp, TrainScratch};
+pub use optimizer::{mse_loss, mse_loss_into, Adam, Sgd};

@@ -276,6 +276,191 @@ impl Matrix {
         Matrix::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
 
+    /// Reshapes this matrix to `rows × cols` in place, reusing the existing
+    /// allocation whenever capacity allows. Element values after the call
+    /// are unspecified; callers are expected to overwrite them.
+    ///
+    /// This is the backbone of the scratch-arena pattern: after the first
+    /// training step every buffer has reached its steady-state capacity and
+    /// `resize_for` never touches the allocator again.
+    #[inline]
+    pub fn resize_for(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Sets every element to `value` in place.
+    #[inline]
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Makes this matrix an element-for-element copy of `src`, reusing the
+    /// existing allocation whenever capacity allows.
+    #[inline]
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize_for(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
+    /// Matrix product `self * rhs` written into `out` (resized as needed).
+    ///
+    /// Register-tiled via [`accumulate_row`]: every output element keeps
+    /// the `k`-ascending accumulation and zero-skip of [`Matrix::matmul`],
+    /// so results are bit-identical — only the allocation and the
+    /// memory-bound accumulator are gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.rows`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_into dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        out.resize_for(m, n);
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            accumulate_row(a_row, 1, k, &rhs.data, n, out_row);
+        }
+    }
+
+    /// Matrix product `selfᵀ * rhs` written into `out` (resized as needed),
+    /// without materializing the transpose.
+    ///
+    /// Register-tiled via [`accumulate_row`] over columns of `self`: every
+    /// output element keeps the `k`-ascending accumulation and zero-skip of
+    /// [`Matrix::matmul_tn`], so results are bit-identical — only the
+    /// allocation and the memory-bound accumulator are gone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != rhs.rows`.
+    pub fn matmul_at_b_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at_b_into dimension mismatch: ({}x{})ᵀ * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (r, m, n) = (self.rows, self.cols, rhs.cols);
+        out.resize_for(m, n);
+        // Narrow outputs re-walk the strided `self` column once per
+        // register tile, which costs more than it saves; stream the
+        // operands with the memory-accumulator `kij` loop instead. The two
+        // loop structures are bit-identical, so the cutover is purely a
+        // performance choice.
+        if r == 0 || n < 32 {
+            out.data.fill(0.0);
+            for t in 0..r {
+                let a_row = &self.data[t * m..(t + 1) * m];
+                let b_row = &rhs.data[t * n..(t + 1) * n];
+                for (i, &a_ti) in a_row.iter().enumerate() {
+                    if a_ti == 0.0 {
+                        continue;
+                    }
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for (o, &b_tj) in out_row.iter_mut().zip(b_row) {
+                        *o += a_ti * b_tj;
+                    }
+                }
+            }
+            return;
+        }
+        for i in 0..m {
+            // Column `i` of `self`, read with stride `m`.
+            let a_col = &self.data[i..];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            accumulate_row(a_col, m, r, &rhs.data, n, out_row);
+        }
+    }
+
+    /// Matrix product `self * rhsᵀ` written into `out` (resized as needed),
+    /// without materializing the transpose.
+    ///
+    /// The kernel is blocked 2×4: two rows of `self` against four rows of
+    /// `rhs` give eight independent accumulator chains, which hides the
+    /// floating-point add latency that serializes the single-accumulator
+    /// dot product in [`Matrix::matmul_nt`]. Every output element is still
+    /// one accumulator running over `k` in ascending order, so results are
+    /// bit-identical to `matmul_nt` — the blocking only reorders *which*
+    /// outputs are in flight, never the sum inside one output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != rhs.cols`.
+    pub fn matmul_a_bt_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_a_bt_into dimension mismatch: {}x{} * ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.rows);
+        out.resize_for(m, n);
+        let mut i = 0;
+        while i + 2 <= m {
+            let a0 = &self.data[i * k..(i + 1) * k];
+            let a1 = &self.data[(i + 1) * k..(i + 2) * k];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &rhs.data[j * k..(j + 1) * k];
+                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
+                let mut acc = [0.0f64; 8];
+                for t in 0..k {
+                    let x0 = a0[t];
+                    let x1 = a1[t];
+                    acc[0] += x0 * b0[t];
+                    acc[1] += x0 * b1[t];
+                    acc[2] += x0 * b2[t];
+                    acc[3] += x0 * b3[t];
+                    acc[4] += x1 * b0[t];
+                    acc[5] += x1 * b1[t];
+                    acc[6] += x1 * b2[t];
+                    acc[7] += x1 * b3[t];
+                }
+                out.data[i * n + j..i * n + j + 4].copy_from_slice(&acc[..4]);
+                out.data[(i + 1) * n + j..(i + 1) * n + j + 4].copy_from_slice(&acc[4..]);
+                j += 4;
+            }
+            while j < n {
+                let b = &rhs.data[j * k..(j + 1) * k];
+                out.data[i * n + j] = dot(a0, b);
+                out.data[(i + 1) * n + j] = dot(a1, b);
+                j += 1;
+            }
+            i += 2;
+        }
+        if i < m {
+            let a0 = &self.data[i * k..(i + 1) * k];
+            let mut j = 0;
+            while j + 4 <= n {
+                let b0 = &rhs.data[j * k..(j + 1) * k];
+                let b1 = &rhs.data[(j + 1) * k..(j + 2) * k];
+                let b2 = &rhs.data[(j + 2) * k..(j + 3) * k];
+                let b3 = &rhs.data[(j + 3) * k..(j + 4) * k];
+                let mut acc = [0.0f64; 4];
+                for t in 0..k {
+                    let x0 = a0[t];
+                    acc[0] += x0 * b0[t];
+                    acc[1] += x0 * b1[t];
+                    acc[2] += x0 * b2[t];
+                    acc[3] += x0 * b3[t];
+                }
+                out.data[i * n + j..i * n + j + 4].copy_from_slice(&acc);
+                j += 4;
+            }
+            while j < n {
+                out.data[i * n + j] = dot(a0, &rhs.data[j * k..(j + 1) * k]);
+                j += 1;
+            }
+        }
+    }
+
     /// Element-wise (Hadamard) product.
     ///
     /// # Panics
@@ -348,12 +533,21 @@ impl Matrix {
     /// Column-wise sum, returned as a vector of length `cols`.
     pub fn sum_rows(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.sum_rows_into(&mut out);
+        out
+    }
+
+    /// Column-wise sum written into `out` (resized to `cols` as needed).
+    ///
+    /// Same accumulation order as [`Matrix::sum_rows`], bit-identical.
+    pub fn sum_rows_into(&self, out: &mut Vec<f64>) {
+        out.resize(self.cols, 0.0);
+        out.fill(0.0);
         for r in self.data.chunks_exact(self.cols) {
             for (o, &x) in out.iter_mut().zip(r) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Sum of all elements.
@@ -443,9 +637,100 @@ impl Matrix {
         out
     }
 
+    /// Concatenates matrices horizontally into `out` (resized as needed).
+    ///
+    /// Same layout as [`Matrix::hstack`], without the allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts differ or `mats` is empty.
+    pub fn hstack_into(mats: &[&Matrix], out: &mut Matrix) {
+        assert!(!mats.is_empty(), "hstack requires at least one matrix");
+        let rows = mats[0].rows;
+        let cols: usize = mats.iter().map(|m| m.cols).sum();
+        out.resize_for(rows, cols);
+        for i in 0..rows {
+            let mut off = 0;
+            for m in mats {
+                assert_eq!(m.rows, rows, "hstack row mismatch");
+                out.data[i * cols + off..i * cols + off + m.cols].copy_from_slice(m.row(i));
+                off += m.cols;
+            }
+        }
+    }
+
     /// True if all elements are finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+/// Single-accumulator dot product, `k` ascending — the scalar tail of
+/// [`Matrix::matmul_a_bt_into`], matching [`Matrix::matmul_nt`] bit for bit.
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Computes one output row `out[j] = Σ_t a[t·stride] · b[t·n + j]` with
+/// every output's accumulation running over `t` ascending and terms whose
+/// `a` element is exactly `0.0` skipped — the same per-output order and
+/// skip rule as the memory-accumulator loops of [`Matrix::matmul`]
+/// (`stride == 1`, `a` a row) and [`Matrix::matmul_tn`] (`stride == m`,
+/// `a` a column), so results are bit-identical.
+///
+/// Outputs are tiled 8 (then 4) wide into register accumulators: eight
+/// independent FP-add chains hide the add latency that serializes a
+/// load-add-store accumulator in memory, and the `b` reads stay contiguous
+/// per term.
+#[inline]
+fn accumulate_row(a: &[f64], stride: usize, terms: usize, b: &[f64], n: usize, out: &mut [f64]) {
+    let mut j = 0;
+    while j + 8 <= n {
+        let mut acc = [0.0f64; 8];
+        for t in 0..terms {
+            let a_t = a[t * stride];
+            if a_t == 0.0 {
+                continue;
+            }
+            let b_row = &b[t * n + j..t * n + j + 8];
+            for (o, &bv) in acc.iter_mut().zip(b_row) {
+                *o += a_t * bv;
+            }
+        }
+        out[j..j + 8].copy_from_slice(&acc);
+        j += 8;
+    }
+    if j + 4 <= n {
+        let mut acc = [0.0f64; 4];
+        for t in 0..terms {
+            let a_t = a[t * stride];
+            if a_t == 0.0 {
+                continue;
+            }
+            let b_row = &b[t * n + j..t * n + j + 4];
+            for (o, &bv) in acc.iter_mut().zip(b_row) {
+                *o += a_t * bv;
+            }
+        }
+        out[j..j + 4].copy_from_slice(&acc);
+        j += 4;
+    }
+    while j < n {
+        let mut acc = 0.0;
+        for t in 0..terms {
+            let a_t = a[t * stride];
+            if a_t == 0.0 {
+                continue;
+            }
+            acc += a_t * b[t * n + j];
+        }
+        out[j] = acc;
+        j += 1;
     }
 }
 

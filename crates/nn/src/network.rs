@@ -48,8 +48,68 @@ impl ForwardCache {
     }
 }
 
+/// A reusable scratch arena for one network's training pass.
+///
+/// Holds the forward caches (per-layer inputs and pre-activations), the
+/// backward buffers (activation deltas and per-layer input gradients) and
+/// the parameter [`Gradients`] for one [`Mlp`]. All buffers are grown on
+/// first use and reshaped in place afterwards, so a steady-state
+/// `forward_scratch` + `backward_scratch` pair performs zero heap
+/// allocations.
+///
+/// Ownership rules: one scratch belongs to exactly one (network, role)
+/// pair — e.g. the DDPG critic's TD update and the critic re-forward for
+/// the actor objective use *different* scratches, because `backward_scratch`
+/// consumes the caches its own `forward_scratch` produced. Scratches never
+/// alias network parameters; they only ever hold activations and gradients.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    /// Input to each layer (`inputs[0]` is a copy of the network input).
+    inputs: Vec<Matrix>,
+    /// Pre-activation of each layer.
+    pre: Vec<Matrix>,
+    /// Final activated output.
+    output: Matrix,
+    /// Activation-weighted delta buffer, reused across layers.
+    dz: Matrix,
+    /// `∂L/∂(layer input)` per layer; `dx[0]` is `∂L/∂(network input)`.
+    dx: Vec<Matrix>,
+    /// Parameter gradients of the last backward pass.
+    grads: Gradients,
+}
+
+impl TrainScratch {
+    /// A fresh, empty scratch. Buffers are sized lazily by the first
+    /// [`Mlp::forward_scratch`] / [`Mlp::backward_scratch`] pair.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The network output of the last [`Mlp::forward_scratch`].
+    pub fn output(&self) -> &Matrix {
+        &self.output
+    }
+
+    /// `∂L/∂(network input)` from the last [`Mlp::backward_scratch`] (or
+    /// [`Mlp::backward_input_scratch`]).
+    pub fn d_input(&self) -> &Matrix {
+        &self.dx[0]
+    }
+
+    /// Parameter gradients from the last [`Mlp::backward_scratch`].
+    pub fn grads(&self) -> &Gradients {
+        &self.grads
+    }
+
+    /// Mutable access to the gradients (e.g. for clipping before the
+    /// optimizer step).
+    pub fn grads_mut(&mut self) -> &mut Gradients {
+        &mut self.grads
+    }
+}
+
 /// Per-layer parameter gradients for a whole network.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Gradients {
     /// One gradient per layer, in forward order.
     pub layers: Vec<DenseGrad>,
@@ -60,6 +120,18 @@ impl Gradients {
     pub fn zeros_like(net: &Mlp) -> Self {
         Self {
             layers: net.layers.iter().map(DenseGrad::zeros_like).collect(),
+        }
+    }
+
+    /// Reshapes to match `net`, reusing allocations; values are
+    /// unspecified afterwards.
+    pub fn resize_like(&mut self, net: &Mlp) {
+        self.layers.resize_with(net.layers.len(), || DenseGrad {
+            weights: Matrix::default(),
+            bias: Vec::new(),
+        });
+        for (g, l) in self.layers.iter_mut().zip(&net.layers) {
+            g.resize_like(l);
         }
     }
 
@@ -233,6 +305,61 @@ impl Mlp {
             .map(|g| g.expect("every layer visited"))
             .collect();
         (Gradients { layers }, d)
+    }
+
+    /// Forward pass through a [`TrainScratch`], recording everything needed
+    /// for [`Mlp::backward_scratch`]. Bit-identical to
+    /// [`Mlp::forward_cached`], allocation-free once the scratch has warmed
+    /// up. The output stays readable via [`TrainScratch::output`].
+    pub fn forward_scratch(&self, x: &Matrix, s: &mut TrainScratch) {
+        let n = self.layers.len();
+        s.inputs.resize_with(n, Matrix::default);
+        s.pre.resize_with(n, Matrix::default);
+        s.dx.resize_with(n, Matrix::default);
+        s.inputs[0].copy_from(x);
+        for (idx, layer) in self.layers.iter().enumerate() {
+            if idx + 1 < n {
+                let (lo, hi) = s.inputs.split_at_mut(idx + 1);
+                layer.forward_into(&lo[idx], &mut s.pre[idx], &mut hi[0]);
+            } else {
+                layer.forward_into(&s.inputs[idx], &mut s.pre[idx], &mut s.output);
+            }
+        }
+    }
+
+    /// Backpropagates `d_output` through the pass recorded by
+    /// [`Mlp::forward_scratch`], leaving the parameter gradients in
+    /// [`TrainScratch::grads`] and `∂L/∂input` in
+    /// [`TrainScratch::d_input`]. Bit-identical to [`Mlp::backward`].
+    pub fn backward_scratch(&self, s: &mut TrainScratch, d_output: &Matrix) {
+        s.grads.resize_like(self);
+        let n = self.layers.len();
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let (lo, hi) = s.dx.split_at_mut(idx + 1);
+            let upstream: &Matrix = if idx + 1 == n { d_output } else { &hi[0] };
+            layer.backward_into(
+                &s.inputs[idx],
+                &s.pre[idx],
+                upstream,
+                &mut s.grads.layers[idx],
+                &mut s.dz,
+                &mut lo[idx],
+            );
+        }
+    }
+
+    /// Like [`Mlp::backward_scratch`] but computes only the input-gradient
+    /// chain, skipping every layer's parameter gradients. Used when the
+    /// network is differentiated purely for `∂L/∂input` (DDPG's
+    /// `∇_a Q(s, μ(s))`); the resulting [`TrainScratch::d_input`] is
+    /// bit-identical to the full backward pass.
+    pub fn backward_input_scratch(&self, s: &mut TrainScratch, d_output: &Matrix) {
+        let n = self.layers.len();
+        for (idx, layer) in self.layers.iter().enumerate().rev() {
+            let (lo, hi) = s.dx.split_at_mut(idx + 1);
+            let upstream: &Matrix = if idx + 1 == n { d_output } else { &hi[0] };
+            layer.backward_input_into(&s.pre[idx], upstream, &mut s.dz, &mut lo[idx]);
+        }
     }
 
     /// Flattens all parameters into a single vector (weights row-major, then

@@ -53,10 +53,45 @@ impl Adam {
     /// `grads` must come from a backward pass over `net` (gradient of the
     /// loss being *minimized*).
     ///
+    /// The update walks each layer's parameter slices in place, zipped with
+    /// the matching offsets into the flat moment vectors — no flattened
+    /// parameter or gradient copies. The per-parameter arithmetic (and the
+    /// parameter ↦ moment-slot mapping) is unchanged from
+    /// [`Adam::step_reference`], so results are bit-identical.
+    ///
     /// # Panics
     ///
     /// Panics if the optimizer was sized for a different architecture.
     pub fn step(&mut self, net: &mut Mlp, grads: &Gradients) {
+        assert_eq!(
+            net.param_count(),
+            self.m.len(),
+            "optimizer/network size mismatch"
+        );
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let mut off = 0;
+        for (layer, g) in net.layers_mut().iter_mut().zip(&grads.layers) {
+            off = self.apply_slice(
+                layer.weights_mut().as_mut_slice(),
+                g.weights.as_slice(),
+                b1t,
+                b2t,
+                off,
+            );
+            off = self.apply_slice(layer.bias_mut(), &g.bias, b1t, b2t, off);
+        }
+    }
+
+    /// The pre-fusion Adam step (flatten → update → scatter), kept as the
+    /// baseline for the `trainperf` benchmark and the kernel-equivalence
+    /// tests. Numerically identical to [`Adam::step`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the optimizer was sized for a different architecture.
+    pub fn step_reference(&mut self, net: &mut Mlp, grads: &Gradients) {
         let g = net.flat_grads(grads);
         assert_eq!(g.len(), self.m.len(), "optimizer/network size mismatch");
         self.t += 1;
@@ -71,6 +106,29 @@ impl Adam {
             params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
         net.set_flat_params(&params);
+    }
+
+    /// Adam-updates one contiguous parameter slice against the moment
+    /// vectors at `off`, returning the offset past the slice.
+    fn apply_slice(
+        &mut self,
+        params: &mut [f64],
+        g: &[f64],
+        b1t: f64,
+        b2t: f64,
+        off: usize,
+    ) -> usize {
+        assert_eq!(params.len(), g.len(), "gradient/parameter shape mismatch");
+        let m = &mut self.m[off..off + params.len()];
+        let v = &mut self.v[off..off + params.len()];
+        for i in 0..params.len() {
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g[i];
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g[i] * g[i];
+            let m_hat = m[i] / b1t;
+            let v_hat = v[i] / b2t;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+        off + params.len()
     }
 }
 
@@ -92,14 +150,21 @@ impl Sgd {
         self.lr
     }
 
-    /// Applies `θ ← θ - lr * g`.
+    /// Applies `θ ← θ - lr * g`, axpy-style in place (no flattened copies).
     pub fn step(&self, net: &mut Mlp, grads: &Gradients) {
-        let g = net.flat_grads(grads);
-        let mut params = net.flat_params();
-        for (p, gi) in params.iter_mut().zip(g) {
-            *p -= self.lr * gi;
+        for (layer, g) in net.layers_mut().iter_mut().zip(&grads.layers) {
+            for (p, gi) in layer
+                .weights_mut()
+                .as_mut_slice()
+                .iter_mut()
+                .zip(g.weights.as_slice())
+            {
+                *p -= self.lr * gi;
+            }
+            for (p, gi) in layer.bias_mut().iter_mut().zip(&g.bias) {
+                *p -= self.lr * gi;
+            }
         }
-        net.set_flat_params(&params);
     }
 }
 
@@ -119,6 +184,30 @@ pub fn mse_loss(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
     let loss = diff.as_slice().iter().map(|d| d * d).sum::<f64>() / n;
     let grad = diff.map(|d| 2.0 * d / n);
     (loss, grad)
+}
+
+/// [`mse_loss`] writing the gradient into `d_pred` (resized as needed)
+/// instead of allocating. Same accumulation order, bit-identical results.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn mse_loss_into(pred: &Matrix, target: &Matrix, d_pred: &mut Matrix) -> f64 {
+    assert_eq!(pred.shape(), target.shape(), "mse shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f64;
+    d_pred.resize_for(pred.rows(), pred.cols());
+    let mut loss = 0.0;
+    for ((o, &p), &t) in d_pred
+        .as_mut_slice()
+        .iter_mut()
+        .zip(pred.as_slice())
+        .zip(target.as_slice())
+    {
+        let d = p - t;
+        loss += d * d;
+        *o = 2.0 * d / n;
+    }
+    loss / n
 }
 
 #[cfg(test)]

@@ -3,11 +3,57 @@
 use edgeslice_nn::{Activation, Matrix, Mlp};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-10.0f64..10.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn rand_dim(rng: &mut StdRng) -> usize {
+    rng.gen_range(0..5)
+}
+
+fn rand_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+    let data = (0..rows * cols)
+        .map(|_| rng.gen_range(-10.0f64..10.0))
+        .collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// A randomly-shaped `(A, B, dirty_out)` case for one of the `_into`
+/// kernels. Dimensions are drawn from `0..=4`, so empty-batch (0-row),
+/// row-vector (1×N) and column-vector (N×1) operands all occur many times
+/// across the 48 cases. `dirty_out` arrives with an unrelated shape and
+/// garbage contents to prove the kernels fully overwrite reused buffers.
+struct IntoKernelCase {
+    kind: KernelKind,
+}
+
+#[derive(Clone, Copy)]
+enum KernelKind {
+    /// `A (m×k) * B (k×n)`.
+    Plain,
+    /// `Aᵀ B` with `A (r×m)`, `B (r×n)`.
+    AtB,
+    /// `A Bᵀ` with `A (m×k)`, `B (n×k)`.
+    ABt,
+}
+
+impl Strategy for IntoKernelCase {
+    type Value = (Matrix, Matrix, Matrix);
+
+    fn generate(&self, rng: &mut StdRng) -> (Matrix, Matrix, Matrix) {
+        let (d0, d1, d2) = (rand_dim(rng), rand_dim(rng), rand_dim(rng));
+        let (a, b) = match self.kind {
+            KernelKind::Plain => (rand_matrix(rng, d0, d1), rand_matrix(rng, d1, d2)),
+            KernelKind::AtB => (rand_matrix(rng, d0, d1), rand_matrix(rng, d0, d2)),
+            KernelKind::ABt => (rand_matrix(rng, d0, d1), rand_matrix(rng, d2, d1)),
+        };
+        let (dr, dc) = (rand_dim(rng), rand_dim(rng));
+        let dirty = rand_matrix(rng, dr, dc);
+        (a, b, dirty)
+    }
 }
 
 proptest! {
@@ -61,6 +107,35 @@ proptest! {
     }
 
     #[test]
+    fn matmul_into_matches_matmul_on_random_shapes(
+        case in IntoKernelCase { kind: KernelKind::Plain },
+    ) {
+        let (a, b, mut out) = case;
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_at_b_into_matches_explicit_transpose_on_random_shapes(
+        case in IntoKernelCase { kind: KernelKind::AtB },
+    ) {
+        let (a, b, mut out) = case;
+        a.matmul_at_b_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.transpose().matmul(&b));
+        prop_assert_eq!(&out, &a.matmul_tn(&b));
+    }
+
+    #[test]
+    fn matmul_a_bt_into_matches_explicit_transpose_on_random_shapes(
+        case in IntoKernelCase { kind: KernelKind::ABt },
+    ) {
+        let (a, b, mut out) = case;
+        a.matmul_a_bt_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.matmul(&b.transpose()));
+        prop_assert_eq!(&out, &a.matmul_nt(&b));
+    }
+
+    #[test]
     fn sigmoid_output_always_in_unit_interval(
         input in proptest::collection::vec(-50.0f64..50.0, 4),
         seed in 0u64..1000,
@@ -70,4 +145,38 @@ proptest! {
         let out = net.forward_one(&input);
         prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
     }
+}
+
+/// The degenerate shapes the replay/training path actually produces —
+/// pinned explicitly rather than left to the random-shape generator.
+#[test]
+fn into_kernels_handle_degenerate_shapes() {
+    let row = Matrix::row_vector(&[1.0, -2.0, 3.0]); // 1×N
+    let col = Matrix::col_vector(&[0.5, 1.5, -0.5]); // N×1
+    let empty_batch = Matrix::zeros(0, 3); // 0-row batch
+    let mut out = Matrix::zeros(2, 2);
+
+    row.matmul_into(&col, &mut out);
+    assert_eq!(out, row.matmul(&col));
+    assert_eq!(out.shape(), (1, 1));
+
+    col.matmul_into(&row, &mut out);
+    assert_eq!(out, col.matmul(&row));
+    assert_eq!(out.shape(), (3, 3));
+
+    row.matmul_at_b_into(&row, &mut out);
+    assert_eq!(out, row.transpose().matmul(&row));
+
+    row.matmul_a_bt_into(&row, &mut out);
+    assert_eq!(out, row.matmul(&row.transpose()));
+
+    empty_batch.matmul_into(&col, &mut out);
+    assert_eq!(out.shape(), (0, 1));
+
+    empty_batch.matmul_at_b_into(&empty_batch, &mut out);
+    assert_eq!(out, empty_batch.transpose().matmul(&empty_batch));
+    assert_eq!(out.shape(), (3, 3));
+
+    empty_batch.matmul_a_bt_into(&empty_batch, &mut out);
+    assert_eq!(out.shape(), (0, 0));
 }

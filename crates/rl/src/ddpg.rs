@@ -7,12 +7,12 @@
 //! `g_t = r + γ Q'(s', μ'(s'))` (paper Eq. 16–17); the actor ascends
 //! `∇_θ J ≈ E[∇_a Q(s, a)|_{a=μ(s)} ∇_θ μ(s)]` (paper Eq. 18).
 
-use edgeslice_nn::{Adam, Matrix, Mlp};
+use edgeslice_nn::{Adam, Matrix, Mlp, TrainScratch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{DecayingGaussian, Environment, ReplayBuffer, Transition};
+use crate::{Batch, DecayingGaussian, Environment, ReplayBuffer, Transition};
 
 /// Hyper-parameters for [`Ddpg`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -81,6 +81,32 @@ pub struct DdpgUpdate {
     pub noise_sigma: f64,
 }
 
+/// Reusable buffers for one [`Ddpg::update`] step: the sampled batch, one
+/// [`TrainScratch`] per (network, role) pair, and every intermediate matrix
+/// the update touches. After the first update everything here sits at its
+/// steady-state capacity and the step is allocation-free.
+#[derive(Debug, Clone, Default)]
+struct DdpgScratch {
+    batch: Batch,
+    /// Target-actor forward for `μ'(s')`.
+    ta_fwd: TrainScratch,
+    /// Target-critic forward for `Q'(s', μ'(s'))`.
+    tc_fwd: TrainScratch,
+    /// Critic forward/backward for the TD loss.
+    critic_td: TrainScratch,
+    /// Actor forward/backward for the policy gradient.
+    actor_fwd: TrainScratch,
+    /// Critic re-forward (and input-gradient backward) at `(s, μ(s))`.
+    critic_pi: TrainScratch,
+    next_sa: Matrix,
+    sa: Matrix,
+    sa_mu: Matrix,
+    targets: Matrix,
+    d_pred: Matrix,
+    d_q: Matrix,
+    d_action: Matrix,
+}
+
 /// A DDPG learner.
 #[derive(Debug, Clone)]
 pub struct Ddpg {
@@ -94,6 +120,7 @@ pub struct Ddpg {
     noise: DecayingGaussian,
     config: DdpgConfig,
     updates: u64,
+    scratch: DdpgScratch,
 }
 
 impl Ddpg {
@@ -129,6 +156,7 @@ impl Ddpg {
             noise,
             config,
             updates: 0,
+            scratch: DdpgScratch::default(),
         }
     }
 
@@ -173,9 +201,105 @@ impl Ddpg {
     /// Runs one critic + actor gradient step and soft target updates.
     ///
     /// Returns `None` while the replay memory holds fewer than a batch of
-    /// transitions.
+    /// transitions (the warm-up contract: no network is touched until the
+    /// buffer can fill a batch).
+    ///
+    /// The step runs entirely through the `_into` kernels and this agent's
+    /// scratch arena — zero heap allocations at steady state — and is
+    /// bit-identical to [`Ddpg::update_reference`] for the same RNG state.
     pub fn update(&mut self, rng: &mut StdRng) -> Option<DdpgUpdate> {
-        let batch = self.replay.sample(self.config.batch_size, rng)?;
+        // Move the scratch out so its buffers and `self`'s networks can be
+        // borrowed independently; moving is allocation-free.
+        let mut s = std::mem::take(&mut self.scratch);
+        let result = self.update_with(&mut s, rng);
+        self.scratch = s;
+        result
+    }
+
+    fn update_with(&mut self, s: &mut DdpgScratch, rng: &mut StdRng) -> Option<DdpgUpdate> {
+        if self
+            .replay
+            .sample_into(self.config.batch_size, rng, &mut s.batch)
+            .is_err()
+        {
+            return None;
+        }
+        let n = s.batch.rewards.len();
+
+        // ---- Critic: minimize (Q(s,a) - g)² with g = r + γ Q'(s', μ'(s')).
+        self.target_actor
+            .forward_scratch(&s.batch.next_states, &mut s.ta_fwd);
+        Matrix::hstack_into(&[&s.batch.next_states, s.ta_fwd.output()], &mut s.next_sa);
+        self.target_critic
+            .forward_scratch(&s.next_sa, &mut s.tc_fwd);
+        s.targets.resize_for(n, 1);
+        {
+            let next_q = s.tc_fwd.output();
+            for i in 0..n {
+                let bootstrap = if s.batch.dones[i] {
+                    0.0
+                } else {
+                    self.config.gamma * next_q[(i, 0)]
+                };
+                s.targets[(i, 0)] = s.batch.rewards[i] + bootstrap;
+            }
+        }
+        Matrix::hstack_into(&[&s.batch.states, &s.batch.actions], &mut s.sa);
+        self.critic.forward_scratch(&s.sa, &mut s.critic_td);
+        let critic_loss =
+            edgeslice_nn::mse_loss_into(s.critic_td.output(), &s.targets, &mut s.d_pred);
+        self.critic.backward_scratch(&mut s.critic_td, &s.d_pred);
+        s.critic_td.grads_mut().clip_global_norm(10.0);
+        self.critic_opt.step(&mut self.critic, s.critic_td.grads());
+
+        // ---- Actor: ascend Q(s, μ(s)).
+        self.actor
+            .forward_scratch(&s.batch.states, &mut s.actor_fwd);
+        Matrix::hstack_into(&[&s.batch.states, s.actor_fwd.output()], &mut s.sa_mu);
+        self.critic.forward_scratch(&s.sa_mu, &mut s.critic_pi);
+        let actor_objective = s.critic_pi.output().mean();
+        // d(-mean Q)/dQ = -1/n; backprop through the critic to get ∇_a Q.
+        // Only the input-gradient chain is needed — the critic's parameter
+        // gradients would be discarded, so they are never computed.
+        s.d_q.resize_for(n, 1);
+        s.d_q.fill(-1.0 / n as f64);
+        self.critic.backward_input_scratch(&mut s.critic_pi, &s.d_q);
+        // Slice out the action part of the critic input gradient.
+        let sd = s.batch.states.cols();
+        let ad = s.actor_fwd.output().cols();
+        s.d_action.resize_for(n, ad);
+        {
+            let d_input = s.critic_pi.d_input();
+            for i in 0..n {
+                s.d_action
+                    .row_mut(i)
+                    .copy_from_slice(&d_input.row(i)[sd..sd + ad]);
+            }
+        }
+        self.actor.backward_scratch(&mut s.actor_fwd, &s.d_action);
+        s.actor_fwd.grads_mut().clip_global_norm(10.0);
+        self.actor_opt.step(&mut self.actor, s.actor_fwd.grads());
+
+        // ---- Soft target updates.
+        self.target_actor
+            .soft_update_from(&self.actor, self.config.tau);
+        self.target_critic
+            .soft_update_from(&self.critic, self.config.tau);
+        self.updates += 1;
+
+        Some(DdpgUpdate {
+            critic_loss,
+            actor_objective,
+            noise_sigma: self.noise.sigma(),
+        })
+    }
+
+    /// The pre-fusion update step (allocating kernels, flat-vector Adam),
+    /// kept as the baseline for the `trainperf` benchmark and the
+    /// kernel-equivalence tests. For the same RNG state this produces
+    /// bit-identical networks to [`Ddpg::update`].
+    pub fn update_reference(&mut self, rng: &mut StdRng) -> Option<DdpgUpdate> {
+        let batch = self.replay.sample(self.config.batch_size, rng).ok()?;
         let n = batch.rewards.len();
 
         // ---- Critic: minimize (Q(s,a) - g)² with g = r + γ Q'(s', μ'(s')).
@@ -196,7 +320,8 @@ impl Ddpg {
         let (critic_loss, d_pred) = edgeslice_nn::mse_loss(cache.output(), &targets);
         let (mut critic_grads, _) = self.critic.backward(&cache, &d_pred);
         critic_grads.clip_global_norm(10.0);
-        self.critic_opt.step(&mut self.critic, &critic_grads);
+        self.critic_opt
+            .step_reference(&mut self.critic, &critic_grads);
 
         // ---- Actor: ascend Q(s, μ(s)).
         let actor_cache = self.actor.forward_cached(&batch.states);
@@ -213,7 +338,7 @@ impl Ddpg {
         let d_action = Matrix::from_fn(n, ad, |i, j| d_input[(i, sd + j)]);
         let (mut actor_grads, _) = self.actor.backward(&actor_cache, &d_action);
         actor_grads.clip_global_norm(10.0);
-        self.actor_opt.step(&mut self.actor, &actor_grads);
+        self.actor_opt.step_reference(&mut self.actor, &actor_grads);
 
         // ---- Soft target updates.
         self.target_actor
@@ -237,6 +362,29 @@ impl Ddpg {
         env: &mut E,
         steps: usize,
         rng: &mut StdRng,
+    ) -> Vec<f64> {
+        self.train_impl(env, steps, rng, false)
+    }
+
+    /// [`Ddpg::train`] through [`Ddpg::update_reference`] instead of the
+    /// fused update — the baseline half of the kernel-equivalence tests and
+    /// the `trainperf` benchmark. Identical RNG schedule, bit-identical
+    /// resulting networks.
+    pub fn train_reference<E: Environment + ?Sized>(
+        &mut self,
+        env: &mut E,
+        steps: usize,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        self.train_impl(env, steps, rng, true)
+    }
+
+    fn train_impl<E: Environment + ?Sized>(
+        &mut self,
+        env: &mut E,
+        steps: usize,
+        rng: &mut StdRng,
+        reference: bool,
     ) -> Vec<f64> {
         let mut returns = Vec::new();
         let mut state = env.reset(rng);
@@ -268,7 +416,11 @@ impl Ddpg {
                 out.next_state
             };
             if step >= self.config.warmup {
-                self.update(rng);
+                if reference {
+                    self.update_reference(rng);
+                } else {
+                    self.update(rng);
+                }
             }
         }
         returns
@@ -299,6 +451,59 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let mut agent = Ddpg::new(1, 1, small_config(), &mut rng);
         assert!(agent.update(&mut rng).is_none());
+    }
+
+    #[test]
+    fn update_before_warmup_leaves_networks_untouched() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut agent = Ddpg::new(2, 1, small_config(), &mut rng);
+        // A few transitions, but fewer than a batch: still warming up.
+        for i in 0..5 {
+            agent.observe(&Transition {
+                state: vec![0.1, 0.2],
+                action: vec![0.5],
+                reward: i as f64,
+                next_state: vec![0.2, 0.3],
+                done: false,
+            });
+        }
+        let actor_before = agent.actor.flat_params();
+        let critic_before = agent.critic.flat_params();
+        assert!(agent.update(&mut rng).is_none());
+        assert!(agent.update_reference(&mut rng).is_none());
+        assert_eq!(agent.actor.flat_params(), actor_before);
+        assert_eq!(agent.critic.flat_params(), critic_before);
+        assert_eq!(agent.updates(), 0);
+    }
+
+    #[test]
+    fn fused_update_is_bit_identical_to_reference() {
+        let mut env_a = TrackingEnv::new(20);
+        let mut env_b = TrackingEnv::new(20);
+        let mut rng_a = StdRng::seed_from_u64(42);
+        let mut rng_b = StdRng::seed_from_u64(42);
+        let mut fused = Ddpg::new(1, 1, small_config(), &mut rng_a);
+        let mut reference = Ddpg::new(1, 1, small_config(), &mut rng_b);
+        fused.train(&mut env_a, 400, &mut rng_a);
+        reference.train_reference(&mut env_b, 400, &mut rng_b);
+        let bits =
+            |net: &Mlp| -> Vec<u64> { net.flat_params().iter().map(|p| p.to_bits()).collect() };
+        assert_eq!(bits(&fused.actor), bits(&reference.actor), "actor diverged");
+        assert_eq!(
+            bits(&fused.critic),
+            bits(&reference.critic),
+            "critic diverged"
+        );
+        assert_eq!(
+            bits(&fused.target_actor),
+            bits(&reference.target_actor),
+            "target actor diverged"
+        );
+        assert_eq!(
+            bits(&fused.target_critic),
+            bits(&reference.target_critic),
+            "target critic diverged"
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use ddpg::{Ddpg, DdpgConfig, DdpgUpdate};
 pub use env::{evaluate, Environment, Step, Transition};
 pub use noise::{sample_standard_normal, DecayingGaussian};
 pub use ppo::{Ppo, PpoConfig, PpoUpdate};
-pub use replay::{Batch, ReplayBuffer};
+pub use replay::{Batch, ReplayBuffer, SampleError};
 pub use sac::{Sac, SacConfig, SacUpdate};
 pub use td3::{Td3, Td3Config, Td3Update};
 pub use trpo::{Trpo, TrpoConfig, TrpoUpdate};

@@ -22,7 +22,11 @@ pub struct ReplayBuffer {
 }
 
 /// A sampled minibatch in matrix form, ready for batched forward passes.
-#[derive(Debug, Clone)]
+///
+/// A `Batch` is a *reusable buffer*: [`ReplayBuffer::sample_into`] reshapes
+/// the matrices in place, so a long-lived batch reaches steady-state
+/// capacity after the first sample and never allocates again.
+#[derive(Debug, Clone, Default)]
 pub struct Batch {
     /// `batch × state_dim` states.
     pub states: Matrix,
@@ -35,6 +39,53 @@ pub struct Batch {
     /// Termination flags, one per row.
     pub dones: Vec<bool>,
 }
+
+impl Batch {
+    /// An empty batch buffer, sized lazily by the first
+    /// [`ReplayBuffer::sample_into`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of sampled transitions.
+    pub fn len(&self) -> usize {
+        self.rewards.len()
+    }
+
+    /// True if the batch holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.rewards.is_empty()
+    }
+}
+
+/// Why [`ReplayBuffer::sample`] could not produce a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleError {
+    /// The buffer holds fewer transitions than the requested batch size —
+    /// the warm-up contract: agents must not learn before `len >= batch`.
+    NotEnoughSamples {
+        /// Transitions currently stored.
+        have: usize,
+        /// Transitions the caller asked for.
+        need: usize,
+    },
+    /// The caller asked for an empty batch, which is never meaningful.
+    EmptyBatch,
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::NotEnoughSamples { have, need } => write!(
+                f,
+                "replay buffer holds {have} transitions but the batch needs {need} (still warming up)"
+            ),
+            SampleError::EmptyBatch => write!(f, "cannot sample an empty batch"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
 
 impl ReplayBuffer {
     /// Creates a buffer for transitions of the given dimensions.
@@ -97,36 +148,68 @@ impl ReplayBuffer {
         self.len = (self.len + 1).min(self.capacity);
     }
 
-    /// Uniformly samples `batch_size` transitions (with replacement).
+    /// Uniformly samples `batch_size` transitions (with replacement) into a
+    /// freshly allocated [`Batch`].
     ///
-    /// Returns `None` when the buffer holds fewer than `batch_size`
-    /// transitions, the usual warm-up guard.
-    pub fn sample(&self, batch_size: usize, rng: &mut StdRng) -> Option<Batch> {
-        if self.len < batch_size || batch_size == 0 {
-            return None;
+    /// Returns a typed [`SampleError`] when the buffer is still warming up
+    /// (fewer than `batch_size` transitions stored) or `batch_size == 0`;
+    /// agents treat that as "skip this update" and leave their networks
+    /// untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleError::NotEnoughSamples`] during warm-up,
+    /// [`SampleError::EmptyBatch`] for `batch_size == 0`.
+    pub fn sample(&self, batch_size: usize, rng: &mut StdRng) -> Result<Batch, SampleError> {
+        let mut out = Batch::new();
+        self.sample_into(batch_size, rng, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`ReplayBuffer::sample`] into a caller-owned [`Batch`], reusing its
+    /// allocations. Draws the RNG in the same per-row order as `sample`, so
+    /// both produce identical batches from identical RNG states.
+    ///
+    /// # Errors
+    ///
+    /// [`SampleError::NotEnoughSamples`] during warm-up,
+    /// [`SampleError::EmptyBatch`] for `batch_size == 0`. `out` is left
+    /// unchanged on error.
+    pub fn sample_into(
+        &self,
+        batch_size: usize,
+        rng: &mut StdRng,
+        out: &mut Batch,
+    ) -> Result<(), SampleError> {
+        if batch_size == 0 {
+            return Err(SampleError::EmptyBatch);
         }
-        let mut states = Vec::with_capacity(batch_size * self.state_dim);
-        let mut actions = Vec::with_capacity(batch_size * self.action_dim);
-        let mut rewards = Vec::with_capacity(batch_size);
-        let mut next_states = Vec::with_capacity(batch_size * self.state_dim);
-        let mut dones = Vec::with_capacity(batch_size);
-        for _ in 0..batch_size {
+        if self.len < batch_size {
+            return Err(SampleError::NotEnoughSamples {
+                have: self.len,
+                need: batch_size,
+            });
+        }
+        out.states.resize_for(batch_size, self.state_dim);
+        out.actions.resize_for(batch_size, self.action_dim);
+        out.rewards.resize(batch_size, 0.0);
+        out.next_states.resize_for(batch_size, self.state_dim);
+        out.dones.resize(batch_size, false);
+        for b in 0..batch_size {
             let i = rng.gen_range(0..self.len);
-            states.extend_from_slice(&self.states[i * self.state_dim..(i + 1) * self.state_dim]);
-            actions
-                .extend_from_slice(&self.actions[i * self.action_dim..(i + 1) * self.action_dim]);
-            rewards.push(self.rewards[i]);
-            next_states
-                .extend_from_slice(&self.next_states[i * self.state_dim..(i + 1) * self.state_dim]);
-            dones.push(self.dones[i]);
+            out.states
+                .row_mut(b)
+                .copy_from_slice(&self.states[i * self.state_dim..(i + 1) * self.state_dim]);
+            out.actions
+                .row_mut(b)
+                .copy_from_slice(&self.actions[i * self.action_dim..(i + 1) * self.action_dim]);
+            out.rewards[b] = self.rewards[i];
+            out.next_states
+                .row_mut(b)
+                .copy_from_slice(&self.next_states[i * self.state_dim..(i + 1) * self.state_dim]);
+            out.dones[b] = self.dones[i];
         }
-        Some(Batch {
-            states: Matrix::from_vec(batch_size, self.state_dim, states),
-            actions: Matrix::from_vec(batch_size, self.action_dim, actions),
-            rewards,
-            next_states: Matrix::from_vec(batch_size, self.state_dim, next_states),
-            dones,
-        })
+        Ok(())
     }
 }
 
@@ -160,10 +243,41 @@ mod tests {
     fn sample_requires_enough_data() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut b = ReplayBuffer::new(10, 2, 1);
-        assert!(b.sample(1, &mut rng).is_none());
+        assert_eq!(
+            b.sample(1, &mut rng).unwrap_err(),
+            SampleError::NotEnoughSamples { have: 0, need: 1 }
+        );
         b.push(&t(1.0));
-        assert!(b.sample(2, &mut rng).is_none());
-        assert!(b.sample(1, &mut rng).is_some());
+        assert_eq!(
+            b.sample(2, &mut rng).unwrap_err(),
+            SampleError::NotEnoughSamples { have: 1, need: 2 }
+        );
+        assert_eq!(b.sample(0, &mut rng).unwrap_err(), SampleError::EmptyBatch);
+        assert!(b.sample(1, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn sample_into_reuses_buffers_and_matches_sample() {
+        let mut b = ReplayBuffer::new(16, 2, 1);
+        for i in 0..16 {
+            b.push(&t(i as f64));
+        }
+        let mut rng_a = StdRng::seed_from_u64(7);
+        let mut rng_b = StdRng::seed_from_u64(7);
+        let fresh = b.sample(8, &mut rng_a).unwrap();
+        let mut reused = Batch::new();
+        // Warm the buffer with a differently-sized draw first, then check
+        // the reshaped re-draw matches `sample` exactly.
+        b.sample_into(4, &mut StdRng::seed_from_u64(0), &mut reused)
+            .unwrap();
+        b.sample_into(8, &mut rng_b, &mut reused).unwrap();
+        assert_eq!(fresh.states, reused.states);
+        assert_eq!(fresh.actions, reused.actions);
+        assert_eq!(fresh.rewards, reused.rewards);
+        assert_eq!(fresh.next_states, reused.next_states);
+        assert_eq!(fresh.dones, reused.dones);
+        assert_eq!(reused.len(), 8);
+        assert!(!reused.is_empty());
     }
 
     #[test]

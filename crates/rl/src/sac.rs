@@ -13,6 +13,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::noise::sample_standard_normal;
+use crate::replay::Batch;
 use crate::{Environment, ReplayBuffer, Transition};
 
 const LOG_STD_MIN: f64 = -5.0;
@@ -80,6 +81,7 @@ pub struct Sac {
     replay: ReplayBuffer,
     config: SacConfig,
     action_dim: usize,
+    batch: Batch,
 }
 
 /// A batch of squashed-Gaussian samples with everything needed for the
@@ -138,6 +140,7 @@ impl Sac {
             replay,
             config,
             action_dim,
+            batch: Batch::new(),
         }
     }
 
@@ -224,9 +227,27 @@ impl Sac {
 
     /// Runs one twin-critic + actor update with soft target tracking.
     ///
-    /// Returns `None` until a full batch is available.
+    /// Returns `None` (leaving every network untouched) until a full batch
+    /// is available.
     pub fn update(&mut self, rng: &mut StdRng) -> Option<SacUpdate> {
-        let batch = self.replay.sample(self.config.batch_size, rng)?;
+        // Reuse the persistent batch buffer across updates. SAC keeps the
+        // allocating reference kernels for the rest of its update — it is a
+        // Fig. 10b comparator, not the paper's DDPG hot path.
+        let mut batch = std::mem::take(&mut self.batch);
+        if self
+            .replay
+            .sample_into(self.config.batch_size, rng, &mut batch)
+            .is_err()
+        {
+            self.batch = batch;
+            return None;
+        }
+        let result = self.update_with(&batch, rng);
+        self.batch = batch;
+        Some(result)
+    }
+
+    fn update_with(&mut self, batch: &Batch, rng: &mut StdRng) -> SacUpdate {
         let n = batch.rewards.len();
         let alpha = self.config.alpha;
 
@@ -314,11 +335,11 @@ impl Sac {
 
         let entropy = -sample.log_prob.iter().sum::<f64>() / n as f64;
         let _ = &sample.u; // u retained for debugging/inspection parity
-        Some(SacUpdate {
+        SacUpdate {
             critic_loss,
             actor_loss,
             entropy,
-        })
+        }
     }
 
     /// Convenience training loop mirroring [`crate::Ddpg::train`].

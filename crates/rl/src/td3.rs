@@ -5,13 +5,13 @@
 //! as the natural "future work" upgrade path for EdgeSlice's orchestration
 //! agents; the ablation bench compares it against plain DDPG.
 
-use edgeslice_nn::{Activation, Adam, Matrix, Mlp};
+use edgeslice_nn::{Activation, Adam, Matrix, Mlp, TrainScratch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::noise::sample_standard_normal;
-use crate::{DecayingGaussian, Environment, ReplayBuffer, Transition};
+use crate::{Batch, DecayingGaussian, Environment, ReplayBuffer, Transition};
 
 /// Hyper-parameters for [`Td3`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -70,6 +70,28 @@ pub struct Td3Update {
     pub actor_updated: bool,
 }
 
+/// Reusable buffers for one [`Td3::update`] step (see the DDPG scratch for
+/// the pattern); `q_td` is shared by both twin critics' TD passes because
+/// they run sequentially.
+#[derive(Debug, Clone, Default)]
+struct Td3Scratch {
+    batch: Batch,
+    ta_fwd: TrainScratch,
+    q1t_fwd: TrainScratch,
+    q2t_fwd: TrainScratch,
+    q_td: TrainScratch,
+    actor_fwd: TrainScratch,
+    q1_pi: TrainScratch,
+    next_actions: Matrix,
+    next_sa: Matrix,
+    sa: Matrix,
+    sa_mu: Matrix,
+    targets: Matrix,
+    d_pred: Matrix,
+    d_q: Matrix,
+    d_action: Matrix,
+}
+
 /// A TD3 learner.
 #[derive(Debug, Clone)]
 pub struct Td3 {
@@ -86,6 +108,7 @@ pub struct Td3 {
     noise: DecayingGaussian,
     config: Td3Config,
     updates: u64,
+    scratch: Td3Scratch,
 }
 
 impl Td3 {
@@ -122,6 +145,7 @@ impl Td3 {
             q2,
             config,
             updates: 0,
+            scratch: Td3Scratch::default(),
         }
     }
 
@@ -156,66 +180,97 @@ impl Td3 {
     /// target with smoothed target actions; the actor and targets update
     /// every `policy_delay` critic steps.
     ///
-    /// Returns `None` until a full batch is available.
+    /// Returns `None` until a full batch is available. Runs through the
+    /// `_into` kernels and this agent's scratch arena — allocation-free at
+    /// steady state, like [`crate::Ddpg::update`].
     pub fn update(&mut self, rng: &mut StdRng) -> Option<Td3Update> {
-        let batch = self.replay.sample(self.config.batch_size, rng)?;
-        let n = batch.rewards.len();
+        let mut s = std::mem::take(&mut self.scratch);
+        let result = self.update_with(&mut s, rng);
+        self.scratch = s;
+        result
+    }
+
+    fn update_with(&mut self, s: &mut Td3Scratch, rng: &mut StdRng) -> Option<Td3Update> {
+        if self
+            .replay
+            .sample_into(self.config.batch_size, rng, &mut s.batch)
+            .is_err()
+        {
+            return None;
+        }
+        let n = s.batch.rewards.len();
 
         // Smoothed target actions: μ'(s') + clip(ε), re-clamped to [0, 1].
-        let mut next_actions = self.target_actor.forward(&batch.next_states);
+        self.target_actor
+            .forward_scratch(&s.batch.next_states, &mut s.ta_fwd);
+        s.next_actions.copy_from(s.ta_fwd.output());
         for i in 0..n {
-            for j in 0..next_actions.cols() {
+            for j in 0..s.next_actions.cols() {
                 let eps = (self.config.target_noise * sample_standard_normal(rng)).clamp(
                     -self.config.target_noise_clip,
                     self.config.target_noise_clip,
                 );
-                next_actions[(i, j)] = (next_actions[(i, j)] + eps).clamp(0.0, 1.0);
+                s.next_actions[(i, j)] = (s.next_actions[(i, j)] + eps).clamp(0.0, 1.0);
             }
         }
-        let next_sa = Matrix::hstack(&[&batch.next_states, &next_actions]);
-        let q1n = self.q1_target.forward(&next_sa);
-        let q2n = self.q2_target.forward(&next_sa);
-        let mut targets = Matrix::zeros(n, 1);
-        for i in 0..n {
-            let minq = q1n[(i, 0)].min(q2n[(i, 0)]);
-            let bootstrap = if batch.dones[i] {
-                0.0
-            } else {
-                self.config.gamma * minq
-            };
-            targets[(i, 0)] = batch.rewards[i] + bootstrap;
+        Matrix::hstack_into(&[&s.batch.next_states, &s.next_actions], &mut s.next_sa);
+        self.q1_target.forward_scratch(&s.next_sa, &mut s.q1t_fwd);
+        self.q2_target.forward_scratch(&s.next_sa, &mut s.q2t_fwd);
+        s.targets.resize_for(n, 1);
+        {
+            let q1n = s.q1t_fwd.output();
+            let q2n = s.q2t_fwd.output();
+            for i in 0..n {
+                let minq = q1n[(i, 0)].min(q2n[(i, 0)]);
+                let bootstrap = if s.batch.dones[i] {
+                    0.0
+                } else {
+                    self.config.gamma * minq
+                };
+                s.targets[(i, 0)] = s.batch.rewards[i] + bootstrap;
+            }
         }
 
-        let sa = Matrix::hstack(&[&batch.states, &batch.actions]);
+        Matrix::hstack_into(&[&s.batch.states, &s.batch.actions], &mut s.sa);
         let mut critic_loss = 0.0;
         for (q, opt) in [
             (&mut self.q1, &mut self.q1_opt),
             (&mut self.q2, &mut self.q2_opt),
         ] {
-            let cache = q.forward_cached(&sa);
-            let (loss, d) = edgeslice_nn::mse_loss(cache.output(), &targets);
-            let (mut grads, _) = q.backward(&cache, &d);
-            grads.clip_global_norm(10.0);
-            opt.step(q, &grads);
+            q.forward_scratch(&s.sa, &mut s.q_td);
+            let loss = edgeslice_nn::mse_loss_into(s.q_td.output(), &s.targets, &mut s.d_pred);
+            q.backward_scratch(&mut s.q_td, &s.d_pred);
+            s.q_td.grads_mut().clip_global_norm(10.0);
+            opt.step(q, s.q_td.grads());
             critic_loss += 0.5 * loss;
         }
 
         self.updates += 1;
         let actor_updated = self.updates.is_multiple_of(self.config.policy_delay);
         if actor_updated {
-            // Deterministic policy gradient through Q1 only.
-            let actor_cache = self.actor.forward_cached(&batch.states);
-            let mu = actor_cache.output().clone();
-            let sa_mu = Matrix::hstack(&[&batch.states, &mu]);
-            let critic_cache = self.q1.forward_cached(&sa_mu);
-            let d_q = Matrix::filled(n, 1, -1.0 / n as f64);
-            let (_, d_input) = self.q1.backward(&critic_cache, &d_q);
-            let sd = batch.states.cols();
-            let ad = mu.cols();
-            let d_action = Matrix::from_fn(n, ad, |i, j| d_input[(i, sd + j)]);
-            let (mut actor_grads, _) = self.actor.backward(&actor_cache, &d_action);
-            actor_grads.clip_global_norm(10.0);
-            self.actor_opt.step(&mut self.actor, &actor_grads);
+            // Deterministic policy gradient through Q1 only; only the
+            // input-gradient chain of Q1 is needed.
+            self.actor
+                .forward_scratch(&s.batch.states, &mut s.actor_fwd);
+            Matrix::hstack_into(&[&s.batch.states, s.actor_fwd.output()], &mut s.sa_mu);
+            self.q1.forward_scratch(&s.sa_mu, &mut s.q1_pi);
+            s.d_q.resize_for(n, 1);
+            s.d_q.fill(-1.0 / n as f64);
+            self.q1.backward_input_scratch(&mut s.q1_pi, &s.d_q);
+            let sd = s.batch.states.cols();
+            let ad = s.actor_fwd.output().cols();
+            s.d_action.resize_for(n, ad);
+            {
+                let d_input = s.q1_pi.d_input();
+                for i in 0..n {
+                    s.d_action
+                        .row_mut(i)
+                        .copy_from_slice(&d_input.row(i)[sd..sd + ad]);
+                }
+            }
+            self.actor.backward_scratch(&mut s.actor_fwd, &s.d_action);
+            s.actor_fwd.grads_mut().clip_global_norm(10.0);
+            self.actor_opt.step(&mut self.actor, s.actor_fwd.grads());
 
             self.target_actor
                 .soft_update_from(&self.actor, self.config.tau);

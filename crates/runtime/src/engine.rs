@@ -231,6 +231,16 @@ impl Engine {
         }
         match self.scheduler {
             Scheduler::Sequential => self.run_sequential(workers, coord, first_round, end_round),
+            // On a single-core host the threaded topology still pays the
+            // full channel round-trip per report while the OS interleaves
+            // the shard threads — strictly slower than inline execution.
+            // The determinism contract makes the two paths bit-identical,
+            // so fall back to the inline loop; `Threaded(1)`'s channel-
+            // debugging value only exists where threads can actually run
+            // concurrently.
+            Scheduler::Threaded(_) if host_parallelism() == 1 => {
+                self.run_sequential(workers, coord, first_round, end_round)
+            }
             Scheduler::Threaded(_) => self.run_threaded(workers, coord, first_round, end_round),
         }
     }
@@ -457,6 +467,14 @@ fn worker_loop<W: RoundWorker>(
     }
 }
 
+/// The host's available parallelism (1 when it cannot be queried). Both
+/// the engine and [`par_map`] skip thread/channel machinery entirely when
+/// this is 1: spawning threads on a single core only adds scheduling and
+/// messaging overhead on top of the same serial work.
+fn host_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
 /// A deterministic, order-preserving parallel map: applies `f` to every
 /// item, inline for [`Scheduler::Sequential`] and across scoped threads
 /// (contiguous chunks) for [`Scheduler::Threaded`]. `f` receives the
@@ -470,7 +488,7 @@ where
     F: Fn(usize, &mut T) + Sync,
 {
     let n_threads = scheduler.threads(items.len());
-    if n_threads <= 1 {
+    if n_threads <= 1 || host_parallelism() == 1 {
         for (i, item) in items.iter_mut().enumerate() {
             f(i, item);
         }
