@@ -17,6 +17,9 @@
 //! minutes; set `EDGESLICE_TRAIN_STEPS` / `EDGESLICE_SEED` to change the
 //! schedule (EXPERIMENTS.md records the schedules used).
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use edgeslice::{AgentConfig, EdgeSliceSystem, OrchestratorKind, RunReport, SystemConfig};
 use edgeslice_rl::Technique;
 use rand::rngs::StdRng;

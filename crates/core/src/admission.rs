@@ -163,11 +163,8 @@ impl AdmissionController {
 
     /// Residual per-domain fraction available to future slices.
     pub fn residual(&self) -> [f64; 3] {
-        [
-            1.0 - self.committed[0],
-            1.0 - self.committed[1],
-            1.0 - self.committed[2],
-        ]
+        let [radio, transport, computing] = self.committed;
+        [1.0 - radio, 1.0 - transport, 1.0 - computing]
     }
 
     /// Decides a request: on admission the demand is committed and the new
@@ -183,24 +180,25 @@ impl AdmissionController {
             &self.capacities,
             self.utilization,
         );
-        let residual = self.residual();
+        let [radio_free, transport_free, computing_free] = self.residual();
         let d = demand.as_array();
-        if d[0] > residual[0] + 1e-12 {
+        let [radio_need, transport_need, computing_need] = d;
+        if radio_need > radio_free + 1e-12 {
             return Err(RejectReason::RadioExhausted {
-                needed: d[0],
-                available: residual[0],
+                needed: radio_need,
+                available: radio_free,
             });
         }
-        if d[1] > residual[1] + 1e-12 {
+        if transport_need > transport_free + 1e-12 {
             return Err(RejectReason::TransportExhausted {
-                needed: d[1],
-                available: residual[1],
+                needed: transport_need,
+                available: transport_free,
             });
         }
-        if d[2] > residual[2] + 1e-12 {
+        if computing_need > computing_free + 1e-12 {
             return Err(RejectReason::ComputingExhausted {
-                needed: d[2],
-                available: residual[2],
+                needed: computing_need,
+                available: computing_free,
             });
         }
         for (c, v) in self.committed.iter_mut().zip(d) {

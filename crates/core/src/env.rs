@@ -383,8 +383,9 @@ impl RaSliceEnv {
                     .iter()
                     .zip(datasets.iter())
                     .map(|(sh, d)| {
-                        let a = sh.as_array();
-                        d.predict([a[0] * scale[0], a[1] * scale[1], a[2] * scale[2]])
+                        let [radio, transport, computing] = sh.as_array();
+                        let [rs, ts, cs] = scale;
+                        d.predict([radio * rs, transport * ts, computing * cs])
                     })
                     .collect()
             }
@@ -403,14 +404,14 @@ impl RaSliceEnv {
         // substrates only ever see a feasible (projected) one.
         let raw_shares = self.decode_action(action);
         let shares = if self.config.project_shares {
-            let mut columns: Vec<Vec<f64>> = (0..ResourceKind::COUNT)
-                .map(|k| raw_shares.iter().map(|s| s.as_array()[k]).collect())
-                .collect();
+            let mut columns: [Vec<f64>; ResourceKind::COUNT] =
+                std::array::from_fn(|k| raw_shares.iter().map(|s| s.as_array()[k]).collect());
             for col in &mut columns {
                 edgeslice_optim::project_capacity(col, 1.0);
             }
+            let [radio_col, transport_col, computing_col] = &columns;
             (0..self.n_slices())
-                .map(|i| DomainShares::new(columns[0][i], columns[1][i], columns[2][i]))
+                .map(|i| DomainShares::new(radio_col[i], transport_col[i], computing_col[i]))
                 .collect()
         } else {
             raw_shares.clone()

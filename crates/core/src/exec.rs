@@ -154,6 +154,7 @@ impl RoundWorker for RaExecWorker<'_> {
         // worker exactly as the previous round left it, which is what
         // makes caught panics replayable from a snapshot.
         if view.panic {
+            // lint:allow(panic-policy): scripted fault injection — this unwind IS the failure under test; the Supervisor must observe a real worker panic
             panic!("injected worker panic: ra {} round {round_off}", self.ra.0);
         }
         self.rng = StdRng::seed_from_u64(derive_stream_seed(

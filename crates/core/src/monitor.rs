@@ -151,10 +151,10 @@ impl SystemMonitor {
     /// Fraction of this round's (RA, interval) pairs that actually served
     /// traffic — the factor SLA targets are prorated by under outages.
     pub fn round_served_fraction(&self, round: usize, n_ras: usize, period: usize) -> f64 {
-        let total = (n_ras * period) as f64;
-        if total == 0.0 {
+        if n_ras * period == 0 {
             return 1.0;
         }
+        let total = (n_ras * period) as f64;
         let lost: usize = (0..n_ras)
             .map(|j| self.round_outage_intervals(round, RaId(j)))
             .sum();

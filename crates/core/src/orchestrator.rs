@@ -535,7 +535,9 @@ impl EdgeSliceSystem {
         // and per-RA training draw from the same family of streams.
         let master = rng.gen::<u64>();
         let mut rng0 = StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_TRAIN, 0));
-        self.agents[0].train(&mut self.envs[0], env_steps, &mut rng0);
+        if let (Some(agent), Some(env)) = (self.agents.first_mut(), self.envs.first_mut()) {
+            agent.train(env, env_steps, &mut rng0);
+        }
         // Re-decide the remaining agents from the trained one's policy by
         // round-tripping through its backend clone.
         let trained = self.agents.remove(0);
@@ -579,7 +581,9 @@ impl EdgeSliceSystem {
     pub fn agent0(&self) -> OrchestrationAgent {
         self.agents
             .first()
-            .expect("learned system has agents")
+            .expect(
+                "invariant: agent0 is only called on learned systems, which hold one agent per RA",
+            )
             .clone()
     }
 
@@ -590,7 +594,9 @@ impl EdgeSliceSystem {
     ///
     /// Panics if the system has no RAs (impossible by construction).
     pub fn env0_mut(&mut self) -> &mut RaSliceEnv {
-        &mut self.envs[0]
+        self.envs
+            .first_mut()
+            .expect("invariant: systems are constructed with at least one RA")
     }
 
     /// Sets the coordinator's staleness budget: missed rounds tolerated
@@ -678,7 +684,7 @@ impl EdgeSliceSystem {
         let latest = self
             .store
             .as_ref()
-            .expect("checkpointing just attached")
+            .expect("invariant: set_checkpointing attached the store on the line above")
             .latest_run()?;
         for (path, err) in &latest.rejected {
             eprintln!(

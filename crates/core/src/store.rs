@@ -297,7 +297,11 @@ impl CheckpointStore {
         if &bytes[..4] != MAGIC {
             return Err(corrupt("bad magic (not an EdgeSlice snapshot)".into()));
         }
-        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        let version = u32::from_le_bytes(
+            bytes[4..8]
+                .try_into()
+                .expect("invariant: 4-byte slice of a length-checked header"),
+        );
         if version != SNAPSHOT_FORMAT_VERSION {
             return Err(EdgeSliceError::UnsupportedSnapshotVersion {
                 path: path.to_path_buf(),
@@ -305,7 +309,11 @@ impl CheckpointStore {
                 supported: SNAPSHOT_FORMAT_VERSION,
             });
         }
-        let declared = u64::from_le_bytes(bytes[8..16].try_into().expect("8 bytes")) as usize;
+        let declared = u64::from_le_bytes(
+            bytes[8..16]
+                .try_into()
+                .expect("invariant: 8-byte slice of a length-checked header"),
+        ) as usize;
         let payload = &bytes[HEADER_LEN..];
         if payload.len() != declared {
             return Err(corrupt(format!(
@@ -313,7 +321,11 @@ impl CheckpointStore {
                 payload.len()
             )));
         }
-        let expected = u32::from_le_bytes(bytes[16..20].try_into().expect("4 bytes"));
+        let expected = u32::from_le_bytes(
+            bytes[16..20]
+                .try_into()
+                .expect("invariant: 4-byte slice of a length-checked header"),
+        );
         let actual = crc32(payload);
         if actual != expected {
             return Err(corrupt(format!(

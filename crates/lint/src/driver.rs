@@ -1,0 +1,345 @@
+//! Workspace discovery, per-file analysis, suppression filtering, and
+//! report assembly — the part of the analyzer the binary and the tests
+//! share.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::diag::{is_suppressed, json_escape, parse_suppressions, Diagnostic, Severity};
+use crate::lexer::lex;
+use crate::rules::{registry, SourceFile, SUPPRESSION_HYGIENE};
+
+/// A fatal analyzer error (not a lint finding): bad workspace root,
+/// unreadable file.
+#[derive(Debug)]
+pub enum LintError {
+    /// No `Cargo.toml` with a `[workspace]` section was found walking up
+    /// from the start directory.
+    WorkspaceNotFound(PathBuf),
+    /// A source file could not be read.
+    Io(PathBuf, io::Error),
+}
+
+impl fmt::Display for LintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintError::WorkspaceNotFound(p) => {
+                write!(f, "no workspace Cargo.toml found above {}", p.display())
+            }
+            LintError::Io(p, e) => write!(f, "cannot read {}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// The analysis result over a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, in file order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files analyzed.
+    pub files_checked: usize,
+    /// Suppressions seen across the tree (justified or not; unjustified
+    /// ones also produce a `suppression-hygiene` finding).
+    pub suppressions: usize,
+}
+
+impl Report {
+    /// Whether the run should fail: any unsuppressed error-severity
+    /// finding.
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Renders the human-readable report.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "edgeslice-lint: {} file(s) checked, {} suppression(s), {} finding(s)\n",
+            self.files_checked,
+            self.suppressions,
+            self.diagnostics.len()
+        ));
+        out
+    }
+
+    /// Renders the machine-readable report (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \
+                 \"line\": {}, \"message\": \"{}\"}}{}\n",
+                json_escape(d.rule),
+                d.severity,
+                json_escape(&d.file),
+                d.line,
+                json_escape(&d.message),
+                if i + 1 == self.diagnostics.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str(&format!(
+            "  ],\n  \"files_checked\": {},\n  \"suppressions\": {},\n  \"errors\": {}\n}}\n",
+            self.files_checked,
+            self.suppressions,
+            self.diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Error)
+                .count()
+        ));
+        out
+    }
+}
+
+/// Finds the workspace root (`Cargo.toml` containing `[workspace]`) at or
+/// above `start`.
+///
+/// # Errors
+///
+/// [`LintError::WorkspaceNotFound`] when no ancestor qualifies.
+pub fn find_workspace_root(start: &Path) -> Result<PathBuf, LintError> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    Err(LintError::WorkspaceNotFound(start.to_path_buf()))
+}
+
+/// One file scheduled for analysis.
+#[derive(Debug, Clone)]
+pub struct FileSpec {
+    /// Absolute (or caller-relative) path to read.
+    pub path: PathBuf,
+    /// Workspace-relative path used in diagnostics (forward slashes).
+    pub rel_path: String,
+    /// Short crate name the scoping rules key on.
+    pub crate_name: String,
+    /// Whether this file is the package's primary crate root.
+    pub is_crate_root: bool,
+}
+
+/// Collects every non-test source file of the workspace: `src/**/*.rs` of
+/// the root package and of each `crates/*` member. Integration tests,
+/// examples, and vendored stand-ins are intentionally out of scope — the
+/// rules guard shipping code, and in-file `#[cfg(test)]` regions are
+/// excluded during analysis.
+///
+/// # Errors
+///
+/// [`LintError::Io`] when a source directory cannot be enumerated.
+pub fn workspace_files(root: &Path) -> Result<Vec<FileSpec>, LintError> {
+    let mut out = Vec::new();
+    collect_package(root, &root.join("src"), "repro", &mut out)?;
+    let crates_dir = root.join("crates");
+    let mut members: Vec<PathBuf> = read_dir(&crates_dir)?
+        .into_iter()
+        .filter(|p| p.is_dir())
+        .collect();
+    members.sort();
+    for member in members {
+        let name = member
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        collect_package(root, &member.join("src"), &name, &mut out)?;
+    }
+    Ok(out)
+}
+
+fn read_dir(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut out = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        out.push(entry.path());
+    }
+    Ok(out)
+}
+
+fn collect_package(
+    root: &Path,
+    src: &Path,
+    crate_name: &str,
+    out: &mut Vec<FileSpec>,
+) -> Result<(), LintError> {
+    if !src.is_dir() {
+        return Ok(());
+    }
+    let mut stack = vec![src.to_path_buf()];
+    let mut files = Vec::new();
+    while let Some(dir) = stack.pop() {
+        for p in read_dir(&dir)? {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    let lib_root = src.join("lib.rs");
+    let main_root = src.join("main.rs");
+    // The package's primary crate root: lib.rs, else main.rs. Secondary
+    // bin roots (src/bin/*) are not held to the crate-header rule.
+    let primary = if lib_root.is_file() {
+        lib_root
+    } else {
+        main_root
+    };
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(FileSpec {
+            is_crate_root: path == primary,
+            rel_path: rel,
+            crate_name: crate_name.to_string(),
+            path,
+        });
+    }
+    Ok(())
+}
+
+/// Analyzes one already-read source text under `spec`'s identity.
+/// Shared by the driver and the fixture tests.
+pub fn analyze_source(spec: &FileSpec, source: &str) -> (Vec<Diagnostic>, usize) {
+    let (toks, comments) = lex(source);
+    let sups = parse_suppressions(&comments);
+    let file = SourceFile::new(
+        spec.crate_name.clone(),
+        spec.rel_path.clone(),
+        spec.is_crate_root,
+        toks,
+    );
+    let mut found = Vec::new();
+    for rule in registry() {
+        (rule.check)(&file, &mut found);
+    }
+    let mut diags: Vec<Diagnostic> = found
+        .into_iter()
+        .filter(|d| !is_suppressed(d, &sups))
+        .collect();
+    // Suppression hygiene: every allow must carry a written justification.
+    for s in &sups {
+        if s.justification.is_empty() {
+            diags.push(Diagnostic {
+                rule: SUPPRESSION_HYGIENE,
+                severity: Severity::Error,
+                file: spec.rel_path.clone(),
+                line: s.line,
+                message: format!(
+                    "`lint:allow({})` without a justification: write \
+                     `// lint:allow({}): <why this is safe>`",
+                    s.rule, s.rule
+                ),
+            });
+        }
+        if !registry().iter().any(|r| r.name == s.rule) {
+            diags.push(Diagnostic {
+                rule: SUPPRESSION_HYGIENE,
+                severity: Severity::Error,
+                file: spec.rel_path.clone(),
+                line: s.line,
+                message: format!("`lint:allow({})` names an unknown rule", s.rule),
+            });
+        }
+    }
+    diags.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
+    (diags, sups.len())
+}
+
+/// Reads and analyzes every file in `specs`, assembling the report.
+///
+/// # Errors
+///
+/// [`LintError::Io`] when a scheduled file cannot be read.
+pub fn run(specs: &[FileSpec]) -> Result<Report, LintError> {
+    let mut report = Report::default();
+    for spec in specs {
+        let source =
+            fs::read_to_string(&spec.path).map_err(|e| LintError::Io(spec.path.clone(), e))?;
+        let (diags, sups) = analyze_source(spec, &source);
+        report.diagnostics.extend(diags);
+        report.suppressions += sups;
+        report.files_checked += 1;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(crate_name: &str, rel: &str) -> FileSpec {
+        FileSpec {
+            path: PathBuf::from(rel),
+            rel_path: rel.into(),
+            crate_name: crate_name.into(),
+            is_crate_root: false,
+        }
+    }
+
+    #[test]
+    fn suppression_with_justification_silences_finding() {
+        let src =
+            "fn f(x: f64) -> bool {\n    // lint:allow(float-eq): exact sentinel\n    x == 0.0\n}";
+        let (diags, sups) = analyze_source(&spec("optim", "crates/optim/src/x.rs"), src);
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(sups, 1);
+    }
+
+    #[test]
+    fn unjustified_suppression_is_its_own_error() {
+        let src = "fn f(x: f64) -> bool {\n    // lint:allow(float-eq)\n    x == 0.0\n}";
+        let (diags, _) = analyze_source(&spec("optim", "crates/optim/src/x.rs"), src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, SUPPRESSION_HYGIENE);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_flagged() {
+        let src = "// lint:allow(no-such-rule): because\nfn f() {}";
+        let (diags, _) = analyze_source(&spec("optim", "crates/optim/src/x.rs"), src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed_enough() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "float-eq",
+                severity: Severity::Error,
+                file: "a \"b\".rs".into(),
+                line: 3,
+                message: "x == 0.0".into(),
+            }],
+            files_checked: 1,
+            suppressions: 0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("a \\\"b\\\".rs"));
+    }
+}

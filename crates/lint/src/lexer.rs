@@ -1,0 +1,438 @@
+//! A hand-rolled, token-level Rust lexer — just enough fidelity for the
+//! project's invariant rules, with zero dependencies (no `syn`: the build
+//! environment has no crates.io access, and the analyzer must never be
+//! broken by the code it checks).
+//!
+//! The lexer produces a flat token stream plus the comment stream (comments
+//! carry the `lint:allow` suppressions). It understands everything that
+//! would otherwise produce false positives inside non-code text: line and
+//! nested block comments, string/char/byte literals with escapes, raw
+//! strings, lifetimes vs. char literals, and numeric literal shapes
+//! (including `1.`, `1e-9`, `0x1f`, suffixes, and the `0..n` range that
+//! must *not* lex as a float).
+
+/// The classification a rule needs to pattern-match a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Instant`, `unwrap`, ...).
+    Ident,
+    /// Integer literal (`42`, `0xff`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e-9`, `0.5f32`).
+    Float,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`); `text`
+    /// holds the *contents* (raw, escapes unprocessed), not the quotes.
+    Str,
+    /// Char or byte literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Punctuation. Compound only where a rule needs it as one unit
+    /// (`==`, `!=`, `::`); everything else is a single character.
+    Punct,
+}
+
+/// One lexed token with its 1-indexed source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what `Str` carries).
+    pub text: String,
+    /// 1-indexed line the token starts on.
+    pub line: usize,
+}
+
+/// One comment (line or block) with the line it starts on. Suppressions
+/// (`// lint:allow(rule): why`) are parsed out of these downstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment text without the `//` / `/* */` markers.
+    pub text: String,
+    /// 1-indexed line the comment starts on.
+    pub line: usize,
+    /// Whether this is a doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    /// Doc comments never carry suppressions — text there is rendered
+    /// documentation (which may legitimately *mention* the syntax).
+    pub doc: bool,
+}
+
+/// Lexes `source` into its token and comment streams. Unterminated
+/// strings/comments are tolerated (the remainder becomes one token):
+/// the analyzer must degrade gracefully on mid-edit files, not abort.
+pub fn lex(source: &str) -> (Vec<Tok>, Vec<Comment>) {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    toks: Vec<Tok>,
+    comments: Vec<Comment>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            toks: Vec::new(),
+            comments: Vec::new(),
+        }
+    }
+
+    fn peek(&self, off: usize) -> u8 {
+        self.src.get(self.pos + off).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: usize) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> (Vec<Tok>, Vec<Comment>) {
+        while self.pos < self.src.len() {
+            let line = self.line;
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(line),
+                b'/' if self.peek(1) == b'*' => self.block_comment(line),
+                b'r' if self.peek(1) == b'"' || (self.peek(1) == b'#' && self.raw_str_ahead(1)) => {
+                    self.bump();
+                    self.raw_string(line);
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.string(line);
+                }
+                b'b' if self.peek(1) == b'r'
+                    && (self.peek(2) == b'"'
+                        || (self.peek(2) == b'#' && self.raw_str_ahead(2))) =>
+                {
+                    self.bump();
+                    self.bump();
+                    self.raw_string(line);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.quote(line);
+                }
+                b'"' => self.string(line),
+                b'\'' => self.quote(line),
+                b'0'..=b'9' => self.number(line),
+                c if c == b'_' || c.is_ascii_alphabetic() || c >= 0x80 => self.ident(line),
+                b'=' if self.peek(1) == b'=' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "==".into(), line);
+                }
+                b'!' if self.peek(1) == b'=' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "!=".into(), line);
+                }
+                b':' if self.peek(1) == b':' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "::".into(), line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (c as char).to_string(), line);
+                }
+            }
+        }
+        (self.toks, self.comments)
+    }
+
+    /// Whether `r##...#"` (any number of hashes) starts at `pos + off`.
+    fn raw_str_ahead(&self, off: usize) -> bool {
+        let mut i = off;
+        while self.peek(i) == b'#' {
+            i += 1;
+        }
+        self.peek(i) == b'"'
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), b'/' | b'!');
+        let start = self.pos;
+        while self.pos < self.src.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.comments.push(Comment { text, line, doc });
+    }
+
+    fn block_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let doc = matches!(self.peek(0), b'*' | b'!');
+        let start = self.pos;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        let end = self.pos.saturating_sub(2).max(start);
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.comments.push(Comment { text, line, doc });
+    }
+
+    fn string(&mut self, line: usize) {
+        self.bump(); // opening quote
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.bump(); // closing quote
+        self.push(TokKind::Str, text, line);
+    }
+
+    fn raw_string(&mut self, line: usize) {
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            hashes += 1;
+            self.bump();
+        }
+        self.bump(); // opening quote
+        let start = self.pos;
+        let end;
+        loop {
+            if self.pos >= self.src.len() {
+                end = self.pos;
+                break;
+            }
+            if self.peek(0) == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek(1 + i) != b'#' {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    end = self.pos;
+                    self.bump();
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// A `'`: either a char literal (`'a'`, `'\n'`) or a lifetime (`'a`).
+    fn quote(&mut self, line: usize) {
+        self.bump(); // the quote
+        if self.peek(0) == b'\\' {
+            // Escaped char literal.
+            self.bump();
+            self.bump();
+            while self.pos < self.src.len() && self.peek(0) != b'\'' {
+                self.bump(); // \u{...} payload
+            }
+            self.bump();
+            self.push(TokKind::Char, String::new(), line);
+            return;
+        }
+        let start = self.pos;
+        let mut len = 0usize;
+        while {
+            let c = self.peek(0);
+            c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+        } {
+            self.bump();
+            len += 1;
+        }
+        if self.peek(0) == b'\'' && len > 0 {
+            // 'a' — char literal (multi-byte UTF-8 chars also land here).
+            self.bump();
+            let text = String::from_utf8_lossy(&self.src[start..self.pos - 1]).into_owned();
+            self.push(TokKind::Char, text, line);
+        } else if len == 0 && self.peek(0) == b'\'' {
+            // ''' — degenerate; treat as a char literal.
+            self.bump();
+            self.push(TokKind::Char, String::new(), line);
+        } else {
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push(TokKind::Lifetime, text, line);
+        }
+    }
+
+    fn number(&mut self, line: usize) {
+        let start = self.pos;
+        let mut float = false;
+        if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
+            self.bump();
+            self.bump();
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+        } else {
+            while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            // A '.' continues the float only when NOT followed by another
+            // '.' (range `0..n`) or an identifier start (`1.max(2)`).
+            if self.peek(0) == b'.'
+                && self.peek(1) != b'.'
+                && !(self.peek(1) == b'_' || self.peek(1).is_ascii_alphabetic())
+            {
+                float = true;
+                self.bump();
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+            if matches!(self.peek(0), b'e' | b'E')
+                && (self.peek(1).is_ascii_digit()
+                    || (matches!(self.peek(1), b'+' | b'-') && self.peek(2).is_ascii_digit()))
+            {
+                float = true;
+                self.bump();
+                if matches!(self.peek(0), b'+' | b'-') {
+                    self.bump();
+                }
+                while self.peek(0).is_ascii_digit() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+            }
+            // Type suffix: `1.0f64`, `3usize`.
+            if self.peek(0).is_ascii_alphabetic() {
+                let sstart = self.pos;
+                while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                    self.bump();
+                }
+                let suffix = &self.src[sstart..self.pos];
+                if suffix.starts_with(b"f32") || suffix.starts_with(b"f64") {
+                    float = true;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        let kind = if float { TokKind::Float } else { TokKind::Int };
+        self.push(kind, text, line);
+    }
+
+    fn ident(&mut self, line: usize) {
+        let start = self.pos;
+        while {
+            let c = self.peek(0);
+            c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+        } {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).0.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let ts = kinds("for i in 0..n { a[1] }");
+        assert!(ts.contains(&(TokKind::Int, "0".into())));
+        assert!(!ts.iter().any(|(k, _)| *k == TokKind::Float));
+    }
+
+    #[test]
+    fn float_shapes() {
+        for src in ["1.0", "1.", "1e-9", "2.5E3", "3f64", "0.5_f32"] {
+            let ts = kinds(src);
+            assert_eq!(ts[0].0, TokKind::Float, "{src} should lex as float");
+        }
+        assert_eq!(kinds("0xff")[0].0, TokKind::Int);
+        assert_eq!(kinds("1.max(2)")[0].0, TokKind::Int);
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; }");
+        assert!(ts.contains(&(TokKind::Lifetime, "a".into())));
+        assert!(ts.contains(&(TokKind::Char, "x".into())));
+    }
+
+    #[test]
+    fn strings_swallow_operators() {
+        let ts = kinds("let s = \"a == b\"; let t = r#\"x != y\"#;");
+        assert!(!ts.iter().any(|(k, t)| *k == TokKind::Punct && t == "=="));
+        assert!(!ts.iter().any(|(k, t)| *k == TokKind::Punct && t == "!="));
+    }
+
+    #[test]
+    fn comments_captured_with_lines() {
+        let (_, cs) = lex("let a = 1;\n// lint:allow(x): reason\nlet b = 2; /* block */");
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0].line, 2);
+        assert!(cs[0].text.contains("lint:allow(x)"));
+        assert_eq!(cs[1].line, 3);
+    }
+
+    #[test]
+    fn compound_ops_lexed_as_units() {
+        let ts = kinds("a == b; c != d; e::f; g <= h; i => j");
+        let puncts: Vec<&str> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert!(puncts.contains(&"=="));
+        assert!(puncts.contains(&"!="));
+        assert!(puncts.contains(&"::"));
+        // `<=` and `=>` must not fuse into `==`.
+        assert_eq!(puncts.iter().filter(|p| **p == "==").count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let (ts, cs) = lex("/* a /* b */ c */ let x = 1;");
+        assert_eq!(cs.len(), 1);
+        assert!(ts.iter().any(|t| t.text == "x"));
+    }
+}

@@ -1,0 +1,46 @@
+//! # edgeslice-lint
+//!
+//! A self-contained static analyzer enforcing the EdgeSlice workspace's
+//! project invariants — the guarantees the last PRs bought dynamically,
+//! held statically:
+//!
+//! | rule | invariant | scope |
+//! |---|---|---|
+//! | `determinism` | workers are pure functions of `(master_seed, ra, round)`: no wall clock, OS entropy, or hash-order iteration | `runtime`, `core`, `netsim` (clock module exempt) |
+//! | `panic-policy` | the Supervisor catches *worker* panics; coordinator code returns typed errors | `runtime`, `core` |
+//! | `hot-path-alloc` | the `*_into`/`*_scratch` training families reuse caller storage | `nn`, `rl` |
+//! | `crate-header` | every crate root carries `#![forbid(unsafe_code)]` + `#![deny(missing_docs)]` | all crates |
+//! | `float-eq` | no `==`/`!=` against float literals | all crates |
+//!
+//! All rules skip `#[cfg(test)]` / `#[test]` regions. A finding can be
+//! waived inline with a **justified** suppression on the offending line or
+//! the line above it:
+//!
+//! ```text
+//! // lint:allow(float-eq): exact-zero is the disabled-jitter sentinel
+//! if self.jitter == 0.0 { ... }
+//! ```
+//!
+//! (`lint:allow-file(rule): why` waives a rule for a whole file.)
+//! Suppressions without a justification are themselves an error
+//! (`suppression-hygiene`) — the allow is the audit trail.
+//!
+//! Run it as `cargo run -p edgeslice-lint -- --workspace` (add
+//! `--format json` for machine-readable output); the process exits
+//! non-zero when any unsuppressed error-severity finding remains. The
+//! lexer is hand-rolled (token-level, no `syn`): the build environment is
+//! offline, and the analyzer must never be broken by the code it checks.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod diag;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+
+pub use diag::{Diagnostic, Severity, Suppression};
+pub use driver::{
+    analyze_source, find_workspace_root, run, workspace_files, FileSpec, LintError, Report,
+};
+pub use rules::{registry, Rule, SourceFile};

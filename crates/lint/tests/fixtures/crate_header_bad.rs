@@ -1,0 +1,7 @@
+//! Fixture: a crate root missing `#![deny(missing_docs)]` (analyzed as a
+//! crate root; `#![warn(missing_docs)]` does not count).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub fn f() {}

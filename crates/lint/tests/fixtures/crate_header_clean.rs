@@ -1,0 +1,7 @@
+//! Fixture: a crate root carrying both required inner attributes.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+/// Documented, as the header demands.
+pub fn f() {}

@@ -1,0 +1,36 @@
+//! Fixture: violates `determinism` four ways (analyzed as crate `runtime`).
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Instant, SystemTime};
+
+fn round_start() -> Instant {
+    Instant::now()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}
+
+fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0.0..1.0)
+}
+
+fn tally(ids: &[usize]) -> HashMap<usize, usize> {
+    let mut seen = HashSet::new();
+    let mut out = HashMap::new();
+    for &id in ids {
+        if seen.insert(id) {
+            out.insert(id, 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: a wall-clock read here must NOT fire.
+    fn in_test_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

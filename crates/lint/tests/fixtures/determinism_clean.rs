@@ -1,0 +1,23 @@
+//! Fixture: deterministic counterpart of `determinism_bad.rs` — seeded
+//! streams and ordered containers only (analyzed as crate `runtime`).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn jitter(master_seed: u64, ra: u64, round: u64) -> f64 {
+    let mut rng = StdRng::seed_from_u64(master_seed ^ (ra << 32) ^ round);
+    rng.gen_range(0.0..1.0)
+}
+
+fn tally(ids: &[usize]) -> BTreeMap<usize, usize> {
+    let mut seen = BTreeSet::new();
+    let mut out = BTreeMap::new();
+    for &id in ids {
+        if seen.insert(id) {
+            out.insert(id, 1);
+        }
+    }
+    out
+}

@@ -1,0 +1,14 @@
+//! Fixture: violates `float-eq` with literal comparisons on both sides
+//! (any crate — the rule is workspace-wide).
+
+fn is_disabled(jitter: f64) -> bool {
+    jitter == 0.0
+}
+
+fn is_unit(scale: f64) -> bool {
+    1.0 != scale
+}
+
+fn is_sentinel(x: f64) -> bool {
+    x == -1.0
+}

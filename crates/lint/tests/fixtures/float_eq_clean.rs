@@ -1,0 +1,19 @@
+//! Fixture: counterpart of `float_eq_bad.rs` — tolerance comparisons,
+//! integer equality, and one justified bit-exact suppression.
+
+fn is_disabled(jitter: f64) -> bool {
+    jitter.abs() < 1e-12
+}
+
+fn is_unit(scale: f64) -> bool {
+    (scale - 1.0).abs() >= 1e-12
+}
+
+fn count_is_zero(n: usize) -> bool {
+    n == 0
+}
+
+fn zero_skip(a: f64) -> bool {
+    // lint:allow(float-eq): fixture for the justified bit-exact pattern
+    a == 0.0
+}

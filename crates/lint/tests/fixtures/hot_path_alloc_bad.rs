@@ -1,0 +1,15 @@
+//! Fixture: violates `hot-path-alloc` inside both banned function
+//! families (analyzed as crate `nn`).
+
+fn scaled_copy_into(src: &[f64], dst: &mut Vec<f64>, k: f64) {
+    let mut tmp = Vec::new();
+    for &x in src {
+        tmp.push(k * x);
+    }
+    *dst = tmp.to_vec();
+}
+
+fn gather_scratch(src: &[f64], scratch: &mut Vec<f64>) {
+    *scratch = src.iter().map(|x| x * 2.0).collect();
+    let _backup = scratch.clone();
+}

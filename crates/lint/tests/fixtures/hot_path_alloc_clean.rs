@@ -1,0 +1,22 @@
+//! Fixture: allocation-free counterpart of `hot_path_alloc_bad.rs` — the
+//! `*_into`/`*_scratch` families reuse caller storage; functions outside
+//! the families may allocate freely (analyzed as crate `nn`).
+
+fn scaled_copy_into(src: &[f64], dst: &mut [f64], k: f64) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = k * s;
+    }
+}
+
+fn gather_scratch(src: &[f64], scratch: &mut [f64]) {
+    for (d, &s) in scratch.iter_mut().zip(src) {
+        *d = s * 2.0;
+    }
+}
+
+fn cold_path_may_allocate(n: usize) -> Vec<f64> {
+    // Not in a banned family: allocation is fine here.
+    let mut v = Vec::new();
+    v.resize(n, 0.0);
+    v
+}

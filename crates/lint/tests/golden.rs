@@ -1,0 +1,135 @@
+//! Golden-fixture tests: each rule has a *bad* fixture that must fire and
+//! a *clean* counterpart that must stay silent. Fixtures live under
+//! `tests/fixtures/` and are lexed, never compiled, so they can hold the
+//! exact anti-patterns the rules ban.
+
+use std::path::PathBuf;
+
+use edgeslice_lint::{analyze_source, Diagnostic, FileSpec};
+
+/// Reads `tests/fixtures/<name>` and analyzes it under the given crate
+/// identity, returning `(unsuppressed diagnostics, suppression count)`.
+fn analyze_fixture(name: &str, crate_name: &str, is_crate_root: bool) -> (Vec<Diagnostic>, usize) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let spec = FileSpec {
+        path,
+        rel_path: format!("crates/{crate_name}/src/{name}"),
+        crate_name: crate_name.into(),
+        is_crate_root,
+    };
+    analyze_source(&spec, &source)
+}
+
+/// Asserts every diagnostic carries `rule` and that there are `at_least`
+/// of them.
+fn assert_all_rule(diags: &[Diagnostic], rule: &str, at_least: usize) {
+    assert!(
+        diags.len() >= at_least,
+        "expected >= {at_least} `{rule}` findings, got {}: {diags:#?}",
+        diags.len()
+    );
+    for d in diags {
+        assert_eq!(d.rule, rule, "unexpected rule in {d}");
+    }
+}
+
+#[test]
+fn determinism_bad_fires_and_spares_tests() {
+    let (diags, _) = analyze_fixture("determinism_bad.rs", "runtime", false);
+    assert_all_rule(&diags, "determinism", 4);
+    // One finding per construct family.
+    for needle in ["Instant::now", "SystemTime", "thread_rng", "HashMap"] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no finding mentions {needle}: {diags:#?}"
+        );
+    }
+    // The `Instant::now()` inside `#[cfg(test)]` must NOT be among them.
+    let last_fn_line = diags.iter().map(|d| d.line).max().unwrap_or(0);
+    assert!(
+        last_fn_line < 30,
+        "a finding leaked out of the test region: {diags:#?}"
+    );
+}
+
+#[test]
+fn determinism_clean_is_silent() {
+    let (diags, _) = analyze_fixture("determinism_clean.rs", "runtime", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn determinism_is_scoped_to_its_crates() {
+    // The same bad source analyzed as an unscoped crate only trips the
+    // workspace-wide rules (none here), not determinism.
+    let (diags, _) = analyze_fixture("determinism_bad.rs", "bench", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn panic_policy_bad_fires_per_construct() {
+    let (diags, _) = analyze_fixture("panic_policy_bad.rs", "core", false);
+    assert_all_rule(&diags, "panic-policy", 5);
+    for needle in ["[0]", ".unwrap()", ".expect()", "`panic!`", "`todo!`"] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no finding mentions {needle}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn panic_policy_clean_is_silent() {
+    let (diags, _) = analyze_fixture("panic_policy_clean.rs", "core", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn hot_path_alloc_bad_fires_in_both_families() {
+    let (diags, _) = analyze_fixture("hot_path_alloc_bad.rs", "nn", false);
+    assert_all_rule(&diags, "hot-path-alloc", 4);
+    assert!(diags.iter().any(|d| d.message.contains("scaled_copy_into")));
+    assert!(diags.iter().any(|d| d.message.contains("gather_scratch")));
+}
+
+#[test]
+fn hot_path_alloc_clean_is_silent() {
+    let (diags, _) = analyze_fixture("hot_path_alloc_clean.rs", "nn", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn crate_header_bad_fires_on_missing_deny() {
+    let (diags, _) = analyze_fixture("crate_header_bad.rs", "bench", true);
+    assert_all_rule(&diags, "crate-header", 1);
+    assert!(diags[0].message.contains("missing_docs"));
+}
+
+#[test]
+fn crate_header_clean_is_silent() {
+    let (diags, _) = analyze_fixture("crate_header_clean.rs", "bench", true);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn crate_header_only_applies_to_crate_roots() {
+    let (diags, _) = analyze_fixture("crate_header_bad.rs", "bench", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn float_eq_bad_fires_on_either_side_and_negation() {
+    let (diags, _) = analyze_fixture("float_eq_bad.rs", "optim", false);
+    assert_all_rule(&diags, "float-eq", 3);
+}
+
+#[test]
+fn float_eq_clean_passes_with_one_justified_suppression() {
+    let (diags, sups) = analyze_fixture("float_eq_clean.rs", "optim", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+    assert_eq!(sups, 1, "the justified zero-skip allow must be counted");
+}

@@ -205,6 +205,7 @@ impl Matrix {
             let a_row = self.row(i);
             let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
             for (k, &a_ik) in a_row.iter().enumerate() {
+                // lint:allow(float-eq): bit-exact zero-skip — part of the kernels' bit-identity contract (DESIGN.md §10)
                 if a_ik == 0.0 {
                     continue;
                 }
@@ -233,6 +234,7 @@ impl Matrix {
             let a_row = self.row(k);
             let b_row = rhs.row(k);
             for (i, &a_ki) in a_row.iter().enumerate() {
+                // lint:allow(float-eq): bit-exact zero-skip — part of the kernels' bit-identity contract (DESIGN.md §10)
                 if a_ki == 0.0 {
                     continue;
                 }
@@ -359,6 +361,7 @@ impl Matrix {
                 let a_row = &self.data[t * m..(t + 1) * m];
                 let b_row = &rhs.data[t * n..(t + 1) * n];
                 for (i, &a_ti) in a_row.iter().enumerate() {
+                    // lint:allow(float-eq): bit-exact zero-skip — part of the kernels' bit-identity contract (DESIGN.md §10)
                     if a_ti == 0.0 {
                         continue;
                     }
@@ -694,6 +697,7 @@ fn accumulate_row(a: &[f64], stride: usize, terms: usize, b: &[f64], n: usize, o
         let mut acc = [0.0f64; 8];
         for t in 0..terms {
             let a_t = a[t * stride];
+            // lint:allow(float-eq): bit-exact zero-skip — part of the kernels' bit-identity contract (DESIGN.md §10)
             if a_t == 0.0 {
                 continue;
             }
@@ -709,6 +713,7 @@ fn accumulate_row(a: &[f64], stride: usize, terms: usize, b: &[f64], n: usize, o
         let mut acc = [0.0f64; 4];
         for t in 0..terms {
             let a_t = a[t * stride];
+            // lint:allow(float-eq): bit-exact zero-skip — part of the kernels' bit-identity contract (DESIGN.md §10)
             if a_t == 0.0 {
                 continue;
             }
@@ -724,6 +729,7 @@ fn accumulate_row(a: &[f64], stride: usize, terms: usize, b: &[f64], n: usize, o
         let mut acc = 0.0;
         for t in 0..terms {
             let a_t = a[t * stride];
+            // lint:allow(float-eq): bit-exact zero-skip — part of the kernels' bit-identity contract (DESIGN.md §10)
             if a_t == 0.0 {
                 continue;
             }

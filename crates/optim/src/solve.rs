@@ -96,6 +96,7 @@ pub fn solve_general(a: &[f64], b: &[f64]) -> Result<Vec<f64>, OptimError> {
         let pivot = m[col * n + col];
         for row in col + 1..n {
             let f = m[row * n + col] / pivot;
+            // lint:allow(float-eq): exact-zero multiplier skip; a tolerance would change the factorization
             if f == 0.0 {
                 continue;
             }

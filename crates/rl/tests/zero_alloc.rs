@@ -8,6 +8,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use edgeslice_rl::{Ddpg, DdpgConfig, Transition};
 use rand::rngs::StdRng;
@@ -44,6 +45,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
+/// Serializes the tests in this binary: [`ENABLED`] is process-global, so a
+/// concurrently running test's setup allocations would otherwise leak into
+/// another test's measured region.
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
 /// Runs `f` with allocation counting enabled and returns how many heap
 /// allocations it performed.
 fn count_allocations(f: impl FnOnce()) -> u64 {
@@ -56,6 +62,7 @@ fn count_allocations(f: impl FnOnce()) -> u64 {
 
 #[test]
 fn ddpg_update_is_allocation_free_at_steady_state() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
     let config = DdpgConfig {
         hidden: 32,
         batch_size: 64,
@@ -101,6 +108,7 @@ fn ddpg_update_is_allocation_free_at_steady_state() {
 
 #[test]
 fn rejected_update_during_warmup_is_also_allocation_free() {
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
     let config = DdpgConfig {
         batch_size: 64,
         ..Default::default()

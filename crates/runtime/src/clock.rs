@@ -1,0 +1,59 @@
+//! The runtime's **only** wall-clock access point.
+//!
+//! The determinism contract (crate docs) makes every worker a pure
+//! function of `(master_seed, ra, round)` — which is exactly why
+//! `Instant::now()` is banned by `edgeslice-lint`'s `determinism` rule
+//! everywhere in `runtime`/`core`/`netsim` *except* this module. The one
+//! thing that legitimately needs real time is the per-round report
+//! deadline: a hung worker must eventually lose its round, and only the
+//! wall clock can say "eventually". Quarantining that read here keeps the
+//! exemption auditable: any new wall-clock dependency has to either land
+//! in this file (and be justified in review) or trip the lint.
+//!
+//! Deadline expiry is *observable* nondeterminism by design — it is
+//! reported as [`crate::RoundTelemetry::deadline_expired`], never silently
+//! folded into the round result, and the default budget is generous
+//! enough (30 s) that healthy runs never hit it.
+
+use std::time::{Duration, Instant};
+
+/// A wall-clock deadline for one coordination round: constructed when the
+/// round's gather phase starts, then polled for the remaining budget on
+/// every channel receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundDeadline {
+    at: Instant,
+}
+
+impl RoundDeadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Self {
+        Self {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// Time left until the deadline ([`Duration::ZERO`] once passed) —
+    /// the timeout to hand to the next blocking channel receive.
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remaining_counts_down_and_saturates() {
+        let d = RoundDeadline::after(Duration::from_secs(60));
+        let r = d.remaining();
+        assert!(r <= Duration::from_secs(60));
+        assert!(
+            r > Duration::from_secs(59),
+            "60s budget cannot drain instantly"
+        );
+        let expired = RoundDeadline::after(Duration::ZERO);
+        assert_eq!(expired.remaining(), Duration::ZERO);
+    }
+}

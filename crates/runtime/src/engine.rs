@@ -4,8 +4,9 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
+use crate::clock::RoundDeadline;
 use crate::msg::{Control, CoordInfo, RaReport};
 use crate::supervisor::{DownCause, Supervisor, SupervisorConfig, WorkerDown};
 use crate::Scheduler;
@@ -355,10 +356,9 @@ impl Engine {
                 // round ends when all slots settle, the deadline expires,
                 // or every worker thread is gone.
                 let mut settled = 0;
-                let deadline = Instant::now() + self.deadline;
+                let deadline = RoundDeadline::after(self.deadline);
                 while settled < n {
-                    let remaining = deadline.saturating_duration_since(Instant::now());
-                    match rep_rx.recv_timeout(remaining) {
+                    match rep_rx.recv_timeout(deadline.remaining()) {
                         Ok(FromWorker::Report(rep))
                             if rep.round == round
                                 && rep.ra < n

@@ -7,6 +7,9 @@
 //! Start from [`edgeslice`] (the system) or run
 //! `cargo run --release --example quickstart`.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use edgeslice;
 pub use edgeslice_netsim as netsim;
 pub use edgeslice_nn as nn;
