@@ -81,6 +81,11 @@ pub enum EdgeSliceError {
         /// What differed.
         reason: String,
     },
+    /// A networked-runtime transport operation failed (handshake,
+    /// registration, framed send/receive) in a way the retry policy could
+    /// not absorb; the typed cause distinguishes "network flaked" from
+    /// "peer is gone".
+    Transport(edgeslice_runtime::TransportError),
 }
 
 impl std::fmt::Display for EdgeSliceError {
@@ -126,6 +131,7 @@ impl std::fmt::Display for EdgeSliceError {
             Self::SnapshotMismatch { reason } => {
                 write!(f, "snapshot does not match this system: {reason}")
             }
+            Self::Transport(e) => write!(f, "transport failure: {e}"),
         }
     }
 }
@@ -137,6 +143,7 @@ impl std::error::Error for EdgeSliceError {
             Self::Checkpoint(e) => Some(e),
             Self::Optim(e) => Some(e),
             Self::Io { source, .. } => Some(source),
+            Self::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -163,6 +170,12 @@ impl From<OptimError> for EdgeSliceError {
 impl From<serde_json::Error> for EdgeSliceError {
     fn from(e: serde_json::Error) -> Self {
         Self::Serialization(e.to_string())
+    }
+}
+
+impl From<edgeslice_runtime::TransportError> for EdgeSliceError {
+    fn from(e: edgeslice_runtime::TransportError) -> Self {
+        Self::Transport(e)
     }
 }
 

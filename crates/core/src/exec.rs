@@ -44,6 +44,11 @@ pub(crate) enum WorkerPolicy<'a> {
 /// coordinator's snapshot material), and this round's monitor rows (the
 /// VR-interface reports, shipped to the central monitor in one batch per
 /// round).
+///
+/// Serializable because the networked runtime ships it across process
+/// boundaries as an opaque frame payload (see [`encode_body`]); JSON's
+/// Ryu `f64` round-trip keeps loopback and socket runs byte-identical.
+#[derive(serde::Serialize, serde::Deserialize)]
 pub(crate) struct RaRoundBody {
     /// `Σ_t U_{i,j}` per slice `i` for this RA `j`.
     pub u: Vec<f64>,
@@ -55,6 +60,23 @@ pub(crate) struct RaRoundBody {
     pub global_t: usize,
     /// The round's per-(interval, slice) monitor rows.
     pub records: Vec<MonitorRecord>,
+}
+
+/// Encodes a round body for the wire (the networked runtime carries it as
+/// an opaque payload inside a `Report` frame).
+pub(crate) fn encode_body(body: &RaRoundBody) -> Result<Vec<u8>, crate::EdgeSliceError> {
+    serde_json::to_string(body)
+        .map(String::into_bytes)
+        .map_err(crate::EdgeSliceError::from)
+}
+
+/// Decodes a wire round body. A payload that framed correctly but fails
+/// to decode is a protocol bug or a foreign peer — a typed error, never
+/// a panic.
+pub(crate) fn decode_body(bytes: &[u8]) -> Result<RaRoundBody, crate::EdgeSliceError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| crate::EdgeSliceError::Serialization(format!("non-UTF-8 body: {e}")))?;
+    serde_json::from_str(text).map_err(crate::EdgeSliceError::from)
 }
 
 /// A per-RA execution worker: everything one resource autonomy needs to
@@ -386,6 +408,12 @@ impl RoundCoordinator for SystemExecCoordinator<'_> {
                 // same rejoin path, and count the panic against the
                 // resumed restart budget.
                 self.panic_counts[down.ra] += 1;
+                self.worker_state[down.ra].was_down = true;
+            }
+            if matches!(down.cause, DownCause::LeaseExpired { .. }) {
+                // A lease-expired (networked) worker rejoins through the
+                // same path a panicked one resumes through — but nothing
+                // crashed, so its restart budget is untouched.
                 self.worker_state[down.ra].was_down = true;
             }
             self.report.supervision.worker_downs.push(DownEvent {

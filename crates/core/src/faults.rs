@@ -161,6 +161,22 @@ pub enum FaultEvent {
         /// The round whose `run_round` panics.
         round: usize,
     },
+    /// `ra`'s worker process freezes for `rounds` rounds starting at
+    /// `start_round`: it stays connected but sends neither reports nor
+    /// lease refreshes — the networked runtime detects it via *lease
+    /// expiry*, never via a channel disconnect. In-process schedulers
+    /// ignore this fault (there is no lease to lapse); it exists to
+    /// script deterministic failure-detection tests for the multi-process
+    /// transport. Scripted-only: [`FaultPlan::generate`] never emits it,
+    /// so stochastic plans are byte-stable.
+    WorkerSilence {
+        /// The affected RA.
+        ra: RaId,
+        /// First silent round.
+        start_round: usize,
+        /// Silence length, rounds.
+        rounds: usize,
+    },
 }
 
 impl FaultEvent {
@@ -170,7 +186,8 @@ impl FaultEvent {
             | FaultEvent::BroadcastDrop { ra, .. }
             | FaultEvent::Straggler { ra, .. }
             | FaultEvent::CapacityDegradation { ra, .. }
-            | FaultEvent::WorkerPanic { ra, .. } => ra,
+            | FaultEvent::WorkerPanic { ra, .. }
+            | FaultEvent::WorkerSilence { ra, .. } => ra,
         }
     }
 }
@@ -283,6 +300,11 @@ impl FaultPlan {
                     start_round,
                     rounds,
                     ..
+                }
+                | FaultEvent::WorkerSilence {
+                    start_round,
+                    rounds,
+                    ..
                 } if start_round >= horizon_rounds || rounds == 0 => {
                     return bad(format!(
                         "{ev:?} outside horizon {horizon_rounds} or zero-length"
@@ -347,6 +369,10 @@ pub struct RaFaultView {
     /// The worker genuinely panics at the top of this round; the runtime
     /// supervisor catches it and reports the RA down.
     pub panic: bool,
+    /// The worker process is frozen this round: connected but sending
+    /// neither reports nor lease refreshes. Only the networked runtime
+    /// reacts (lease expiry); in-process schedulers ignore it.
+    pub silent: bool,
     /// Per-domain capacity multipliers `[radio, transport, compute]`,
     /// `1.0` when healthy.
     pub capacity_scale: [f64; 3],
@@ -361,6 +387,7 @@ impl RaFaultView {
             broadcast_dropped: false,
             straggler: false,
             panic: false,
+            silent: false,
             capacity_scale: [1.0; 3],
         }
     }
@@ -380,6 +407,7 @@ pub struct FaultInjector {
     dropped: Vec<Vec<bool>>,
     straggle: Vec<Vec<bool>>,
     panics: Vec<Vec<bool>>,
+    silence: Vec<Vec<bool>>,
     scale: Vec<Vec<[f64; 3]>>,
 }
 
@@ -391,6 +419,7 @@ impl FaultInjector {
         let mut dropped = vec![vec![false; n_ras]; rounds];
         let mut straggle = vec![vec![false; n_ras]; rounds];
         let mut panics = vec![vec![false; n_ras]; rounds];
+        let mut silence = vec![vec![false; n_ras]; rounds];
         let mut scale = vec![vec![[1.0f64; 3]; n_ras]; rounds];
         for ev in &plan.events {
             match *ev {
@@ -431,6 +460,16 @@ impl FaultInjector {
                         panics[round][ra.0] = true;
                     }
                 }
+                FaultEvent::WorkerSilence {
+                    ra,
+                    start_round,
+                    rounds: len,
+                } => {
+                    let end = (start_round + len).min(rounds);
+                    for row in &mut silence[start_round..end] {
+                        row[ra.0] = true;
+                    }
+                }
             }
         }
         Self {
@@ -439,6 +478,7 @@ impl FaultInjector {
             dropped,
             straggle,
             panics,
+            silence,
             scale,
         }
     }
@@ -466,7 +506,9 @@ impl FaultInjector {
             rejoining: !down && was_down,
             broadcast_dropped: self.dropped[round][ra.0] && !down,
             straggler: self.straggle[round][ra.0] && !down,
-            panic: self.panics[round][ra.0] && !down,
+            // A frozen process can't crash: silence masks the panic draw.
+            panic: self.panics[round][ra.0] && !down && !self.silence[round][ra.0],
+            silent: self.silence[round][ra.0] && !down,
             capacity_scale: if down {
                 [1.0; 3]
             } else {
@@ -652,6 +694,45 @@ mod tests {
                 .any(|e| matches!(e, FaultEvent::WorkerPanic { .. })),
             "chaos preset should schedule at least one panic over 180 RA-rounds"
         );
+    }
+
+    #[test]
+    fn worker_silence_compiles_and_masks_panics() {
+        let plan = FaultPlan::scripted(
+            2,
+            10,
+            vec![
+                FaultEvent::WorkerSilence {
+                    ra: RaId(1),
+                    start_round: 2,
+                    rounds: 3,
+                },
+                FaultEvent::WorkerPanic {
+                    ra: RaId(1),
+                    round: 3,
+                },
+            ],
+        )
+        .unwrap();
+        let inj = FaultInjector::new(plan);
+        assert!(!inj.view(RaId(1), 1).silent);
+        for r in 2..5 {
+            assert!(inj.view(RaId(1), r).silent);
+            assert!(!inj.view(RaId(0), r).silent);
+        }
+        assert!(!inj.view(RaId(1), 5).silent);
+        // A frozen process can't crash: the round-3 panic is masked.
+        assert!(!inj.view(RaId(1), 3).panic);
+        let zero_len = FaultPlan::scripted(
+            2,
+            10,
+            vec![FaultEvent::WorkerSilence {
+                ra: RaId(0),
+                start_round: 0,
+                rounds: 0,
+            }],
+        );
+        assert!(matches!(zero_len, Err(EdgeSliceError::InvalidFaultPlan(_))));
     }
 
     #[test]

@@ -76,17 +76,22 @@ pub use managers::{ManagerError, ResourceManagers, SliceAllocation};
 pub use monitor::{IntervalStatus, MonitorRecord, SystemMonitor};
 pub use orchestrator::{
     project_action_per_resource, DownEvent, EdgeSliceSystem, OrchestratorKind, RoundRecord,
-    RunReport, SupervisionStats, SystemConfig, TrafficKind,
+    RunReport, ServeOutcome, SupervisionStats, SystemConfig, TrafficKind, WorkerNetOptions,
 };
 pub use overhead::{OverheadModel, RoundTraffic};
 pub use store::{
     CheckpointStore, LatestRun, RunSnapshot, TrainSnapshot, WorkerSnapshot, SNAPSHOT_FORMAT_VERSION,
 };
-// The execution engine's scheduler and supervision policy are part of the
-// system API (see `EdgeSliceSystem::set_scheduler` /
-// `EdgeSliceSystem::set_supervision`); re-export them so downstream users
-// don't need a direct `edgeslice-runtime` dependency.
-pub use edgeslice_runtime::{Scheduler, SupervisorConfig};
+// The execution engine's scheduler, supervision policy, and networked-mode
+// surface are part of the system API (see `EdgeSliceSystem::set_scheduler`
+// / `set_supervision` / `run_networked` / `serve_ra`); re-export them so
+// downstream users don't need a direct `edgeslice-runtime` dependency.
+pub use edgeslice_runtime::{
+    channel_acceptor, connect_tcp, connect_uds, loopback_pair, Acceptor, ChannelAcceptor, Clock,
+    FramedTransport, Lease, ListenerAcceptor, LoopbackTransport, MockClock, NetConfig,
+    NetCoordinator, NetListener, NetStats, RetryPolicy, Scheduler, SupervisorConfig, Transport,
+    TransportError,
+};
 pub use perf::{NegServiceTime, PerformanceFunction, QueuePenalty};
 pub use reward::{reward, RewardParams};
 pub use sla::{Sla, SliceSpec};

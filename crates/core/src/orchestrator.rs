@@ -12,7 +12,9 @@ use std::time::Duration;
 use edgeslice_optim::{project_capacity, AdmmConfig, AdmmResiduals};
 use edgeslice_rl::Technique;
 use edgeslice_runtime::{
-    derive_stream_seed, par_map, Engine, Scheduler, SupervisorConfig, DOMAIN_ORCH, DOMAIN_TRAIN,
+    caps, derive_stream_seed, par_map, Control, Engine, Lease, NetCoordinator, NodeInfo, RaReport,
+    RoundCoordinator, RoundWorker, Scheduler, Supervisor, SupervisorConfig, Transport,
+    TransportError, WorkerCommand, WorkerSession, DOMAIN_ORCH, DOMAIN_TRAIN,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -235,6 +237,22 @@ pub struct SupervisionStats {
     pub disconnects: usize,
     /// Malformed reports dropped at the gather loop across the run.
     pub discarded_reports: usize,
+    /// Networked mode: frame sends retried after a transient failure and
+    /// ultimately delivered — "the network flaked but recovered". Always
+    /// zero in-process.
+    pub send_retries: usize,
+    /// Networked mode: frame sends abandoned after the bounded retry
+    /// budget (the link broke; the lease decides whether the worker is
+    /// down). Always zero in-process.
+    pub sends_abandoned: usize,
+    /// Networked mode: leases that lapsed into a
+    /// [`edgeslice_runtime::DownCause::LeaseExpired`] down event — "the
+    /// worker died". Always zero in-process.
+    pub leases_expired: usize,
+    /// Networked mode: workers re-admitted after a lease expiry (a sign
+    /// of life or a fresh registration from a respawned process). Always
+    /// zero in-process.
+    pub rejoins: usize,
 }
 
 /// The full run's outcome.
@@ -784,18 +802,7 @@ impl EdgeSliceSystem {
                 )
             }
         };
-        // The effective policy per RA — what a fresh process re-installs
-        // instead of retraining (`None` for TARO).
-        let policies: Vec<Option<PolicyCheckpoint>> = match self.kind {
-            OrchestratorKind::Learned(_) => (0..n_ras)
-                .map(|j| {
-                    self.policy_overrides[j]
-                        .clone()
-                        .or_else(|| Some(PolicyCheckpoint::from_agent(&self.agents[j])))
-                })
-                .collect(),
-            OrchestratorKind::Taro => vec![None; n_ras],
-        };
+        let policies = self.effective_policies();
         let project_actions = self.config.project_actions;
         let straggle_sleep = self.straggle_sleep;
         let mut workers: Vec<RaExecWorker<'_>> = Vec::with_capacity(n_ras);
@@ -864,6 +871,361 @@ impl EdgeSliceSystem {
         }
         report
     }
+
+    /// The effective policy per RA — what a fresh process re-installs
+    /// instead of retraining (`None` for TARO).
+    fn effective_policies(&self) -> Vec<Option<PolicyCheckpoint>> {
+        match self.kind {
+            OrchestratorKind::Learned(_) => (0..self.config.n_ras)
+                .map(|j| {
+                    self.policy_overrides[j]
+                        .clone()
+                        .or_else(|| Some(PolicyCheckpoint::from_agent(&self.agents[j])))
+                })
+                .collect(),
+            OrchestratorKind::Taro => vec![None; self.config.n_ras],
+        }
+    }
+
+    /// Runs Alg. 1 as the *coordinator of a networked deployment*: every
+    /// RA is a separate [`EdgeSliceSystem::serve_ra`] peer (thread or
+    /// process) reached through `net`'s [`Transport`] links, registered on
+    /// the ε-ORC-style lease plane.
+    ///
+    /// The round protocol, ADMM folding, degraded-coordination policy and
+    /// checkpointing are exactly `run_with_faults`'s — the coordinator
+    /// side is transport-agnostic, so a loopback run and a UDS run of the
+    /// same seed and fault plan produce byte-identical [`RunReport`]s.
+    /// Failure semantics differ from in-process in one deliberate way: a
+    /// vanished peer is detected by its *lapsed lease*
+    /// ([`edgeslice_runtime::DownCause::LeaseExpired`], folded into
+    /// [`SupervisionStats::leases_expired`] and the per-round `downed`
+    /// set), never by the broken socket, and a degraded round completes
+    /// through the same stale-report/frozen-dual ADMM path a scripted
+    /// outage takes.
+    ///
+    /// One seed draw is consumed from `rng`, exactly like
+    /// `run_with_faults`, so workers constructed from the same seed derive
+    /// the identical master seed in [`EdgeSliceSystem::serve_ra`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeSliceError::Transport`] if registration does not
+    /// complete within `net`'s configured deadline. Mid-run transport
+    /// failures are *not* errors: they degrade the run (telemetry, lease
+    /// expiries) instead of aborting it.
+    pub fn run_networked<T: Transport>(
+        &mut self,
+        max_rounds: usize,
+        rng: &mut StdRng,
+        injector: &FaultInjector,
+        net: &mut NetCoordinator<T>,
+    ) -> Result<RunReport, EdgeSliceError> {
+        let _ = injector; // the fault plan acts on the worker side
+        let master = rng.gen::<u64>();
+        let n_ras = self.config.n_ras;
+        let period = self.config.reward.period;
+        for env in &mut self.envs {
+            env.set_randomize_coord(false);
+        }
+        let round_base = self.monitor.rounds();
+        let worker_state: Vec<WorkerSnapshot> = self
+            .envs
+            .iter()
+            .enumerate()
+            .map(|(j, env)| WorkerSnapshot {
+                ra: RaId(j),
+                queues: env.queues().to_vec(),
+                coordination: env.coordination().to_vec(),
+                global_t: env.global_t(),
+                was_down: false,
+            })
+            .collect();
+        let policies = self.effective_policies();
+        net.wait_registered(0).map_err(EdgeSliceError::Transport)?;
+        let mut exec = SystemExecCoordinator::new(
+            &mut self.coordinator,
+            &mut self.monitor,
+            &self.config.slices,
+            n_ras,
+            period,
+            round_base,
+        )
+        .with_state(worker_state, vec![0; n_ras], policies, RunReport::default());
+        if let Some(store) = &self.store {
+            exec = exec.with_sink(store, self.checkpoint_every, master);
+        }
+        for round in 0..max_rounds {
+            let zys = exec.broadcast(round);
+            let (raw, mut telemetry) = net.run_round(round, &zys);
+            let mut slots: Vec<Option<RaReport<crate::exec::RaRoundBody>>> =
+                Vec::with_capacity(n_ras);
+            for slot in raw {
+                let Some(rep) = slot else {
+                    slots.push(None);
+                    continue;
+                };
+                let body = match rep.body {
+                    None => None,
+                    Some(bytes) => match crate::exec::decode_body(&bytes) {
+                        Ok(body) => Some(body),
+                        Err(err) => {
+                            // Framed correctly but undecodable: a foreign
+                            // or buggy peer. Drop the report, count it,
+                            // keep the round going.
+                            eprintln!(
+                                "edgeslice: dropping undecodable report body from ra {}: {err}",
+                                rep.ra
+                            );
+                            telemetry.discarded_reports += 1;
+                            slots.push(None);
+                            continue;
+                        }
+                    },
+                };
+                slots.push(Some(RaReport {
+                    ra: rep.ra,
+                    round: rep.round,
+                    deadline_missed: rep.deadline_missed,
+                    body,
+                }));
+            }
+            let converged = exec.collect(round, slots, &telemetry);
+            if converged {
+                break;
+            }
+        }
+        net.shutdown();
+        let mut report = exec.report;
+        let stats = net.stats();
+        report.supervision.send_retries += stats.send_retries;
+        report.supervision.sends_abandoned += stats.sends_abandoned;
+        report.supervision.leases_expired += stats.leases_expired;
+        report.supervision.rejoins += stats.rejoins;
+        for env in &mut self.envs {
+            env.set_capacity_scale([1.0; 3]);
+        }
+        Ok(report)
+    }
+
+    /// Serves RA `ra` as a *networked worker peer* of a
+    /// [`EdgeSliceSystem::run_networked`] coordinator, over `transport`.
+    ///
+    /// The peer must be built from the same seed as the coordinator (both
+    /// construct the full system identically, then draw one master seed
+    /// from `rng` here), which is what makes its decisions bit-identical
+    /// to an in-process worker's. It registers on the coordinator's lease
+    /// plane, then serves rounds until `Shutdown` or disconnect:
+    ///
+    /// * injected faults from `injector` act exactly as in-process —
+    ///   panics really unwind and are caught by a per-worker
+    ///   [`Supervisor`] (reported to the coordinator as a typed `Down`
+    ///   frame), outages go dark, stragglers mark their reports late;
+    /// * a [`FaultEvent::WorkerSilence`](crate::FaultEvent::WorkerSilence)
+    ///   window freezes the peer: connected but sending neither reports
+    ///   nor lease refreshes, so the coordinator's failure detector — the
+    ///   lease, not the socket — fires deterministically;
+    /// * with a [`CheckpointStore`] attached
+    ///   ([`EdgeSliceSystem::set_checkpointing`] on the same directory the
+    ///   coordinator checkpoints into), a freshly (re)spawned peer
+    ///   re-syncs its environment, policy and restart budget from the
+    ///   newest snapshot before registering — the kill-and-rejoin path.
+    ///
+    /// Returns what happened: rounds served, the snapshot round re-synced
+    /// from (if any), and panics caught by the local supervisor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeSliceError::Transport`] if the session cannot be
+    /// established or dies mid-round, and [`EdgeSliceError::Io`] /
+    /// snapshot errors if the checkpoint store is attached but unreadable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ra` is outside this system's RA range.
+    pub fn serve_ra<T: Transport>(
+        &mut self,
+        ra: RaId,
+        rng: &mut StdRng,
+        injector: &FaultInjector,
+        transport: T,
+        opts: &WorkerNetOptions,
+    ) -> Result<ServeOutcome, EdgeSliceError> {
+        let n_ras = self.config.n_ras;
+        assert!(ra.0 < n_ras, "serve_ra: ra {} out of range {n_ras}", ra.0);
+        let master = rng.gen::<u64>();
+        let period = self.config.reward.period;
+        for env in &mut self.envs {
+            env.set_randomize_coord(false);
+        }
+        // Re-sync from the newest checkpoint, if a store is attached and
+        // its snapshot belongs to this exact run (same master seed).
+        let mut resynced_from = None;
+        let mut round_base = self.monitor.rounds();
+        let mut panic_count = 0usize;
+        let mut policy_override = self.policy_overrides[ra.0].clone();
+        let mut was_down = false;
+        if let Some(store) = &self.store {
+            let latest = store.latest_run()?;
+            for (path, err) in &latest.rejected {
+                eprintln!(
+                    "edgeslice: skipping unreadable snapshot {}: {err}",
+                    path.display()
+                );
+            }
+            if let Some(snap) = latest.snapshot {
+                if snap.master_seed == master && snap.workers.len() == n_ras {
+                    let ws = &snap.workers[ra.0];
+                    self.envs[ra.0].restore_round_state(
+                        ws.queues.clone(),
+                        &ws.coordination,
+                        ws.global_t,
+                    );
+                    was_down = ws.was_down;
+                    panic_count = snap.panic_counts[ra.0];
+                    policy_override = snap.policies[ra.0].clone().or(policy_override);
+                    round_base = snap.round_base;
+                    resynced_from = Some(snap.next_round);
+                }
+            }
+        }
+        let stream_seed = derive_stream_seed(master, DOMAIN_ORCH, ra.0 as u64);
+        let policy = match self.kind {
+            OrchestratorKind::Learned(_) => WorkerPolicy::Learned(&self.agents[ra.0]),
+            OrchestratorKind::Taro => WorkerPolicy::Taro(crate::Taro::new()),
+        };
+        let mut worker = RaExecWorker::new(
+            ra,
+            &mut self.envs[ra.0],
+            policy,
+            injector,
+            stream_seed,
+            period,
+            self.config.project_actions,
+            round_base,
+            self.straggle_sleep,
+        )
+        .with_down_state(was_down);
+        if let Some(ckpt) = policy_override {
+            worker = worker.with_restored_policy(ckpt);
+        }
+        let mut supervisor = Supervisor::with_panic_counts(self.supervision, &[panic_count]);
+        let capabilities = caps::RESYNC
+            | match self.kind {
+                OrchestratorKind::Learned(_) => caps::LEARNED,
+                OrchestratorKind::Taro => caps::TARO,
+            };
+        let node = NodeInfo {
+            ra: ra.0,
+            capabilities,
+            capacity: 1.0,
+        };
+        let (mut session, _ack) = WorkerSession::establish(
+            transport,
+            node,
+            opts.lease,
+            opts.establish_timeout,
+            opts.refresh_interval,
+        )
+        .map_err(EdgeSliceError::Transport)?;
+        let mut rounds_served = 0usize;
+        let mut frozen = false;
+        loop {
+            match session.next_command(opts.idle_budget) {
+                Ok(WorkerCommand::Round(info)) => {
+                    let view = injector.view(ra, info.round);
+                    if view.silent {
+                        if !frozen {
+                            // Freeze: checkpoint the effective policy and
+                            // mark the worker down so the round it thaws
+                            // on takes the rejoin path — the same
+                            // make-before-break an outage performs.
+                            worker.handle_control(&Control::Checkpoint);
+                            let _ = worker.recover();
+                            frozen = true;
+                        }
+                        session.set_auto_refresh(false);
+                        continue;
+                    }
+                    frozen = false;
+                    session.set_auto_refresh(true);
+                    match supervisor.guard(0, &mut worker, &info) {
+                        Ok(report) => {
+                            let body = match &report.body {
+                                Some(b) => Some(crate::exec::encode_body(b)?),
+                                None => None,
+                            };
+                            session
+                                .report(report.round, report.deadline_missed, body)
+                                .map_err(EdgeSliceError::Transport)?;
+                            rounds_served += 1;
+                        }
+                        Err(down) => {
+                            // A real caught panic (or an exhausted restart
+                            // budget), shipped as a typed Down frame.
+                            session
+                                .down(info.round, down.cause.to_string())
+                                .map_err(EdgeSliceError::Transport)?;
+                        }
+                    }
+                }
+                Ok(WorkerCommand::Control(Control::Shutdown)) => break,
+                Ok(WorkerCommand::Control(ctl)) => worker.handle_control(&ctl),
+                // The coordinator is gone: an orderly end of service, not
+                // a worker failure.
+                Err(TransportError::Disconnected) => break,
+                Err(e) => return Err(EdgeSliceError::Transport(e)),
+            }
+        }
+        let caught_panics = supervisor.restarts(0);
+        drop(worker);
+        for env in &mut self.envs {
+            env.set_capacity_scale([1.0; 3]);
+        }
+        Ok(ServeOutcome {
+            rounds_served,
+            resynced_from,
+            caught_panics,
+        })
+    }
+}
+
+/// Knobs for a [`EdgeSliceSystem::serve_ra`] worker peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerNetOptions {
+    /// The lease this worker declares at registration (its own failure
+    /// deadline, in rounds).
+    pub lease: Lease,
+    /// Budget for handshake + registration.
+    pub establish_timeout: Duration,
+    /// How often the idle worker refreshes its lease.
+    pub refresh_interval: Duration,
+    /// How long the worker waits for a command before giving up on the
+    /// coordinator.
+    pub idle_budget: Duration,
+}
+
+impl Default for WorkerNetOptions {
+    fn default() -> Self {
+        Self {
+            lease: Lease::default(),
+            establish_timeout: Duration::from_secs(10),
+            refresh_interval: Duration::from_millis(100),
+            idle_budget: Duration::from_secs(120),
+        }
+    }
+}
+
+/// What a [`EdgeSliceSystem::serve_ra`] worker peer did before shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOutcome {
+    /// Rounds this peer served (reports actually sent).
+    pub rounds_served: usize,
+    /// `Some(next_round)` if the peer re-synced from a checkpoint
+    /// snapshot before registering (the kill-and-rejoin path).
+    pub resynced_from: Option<usize>,
+    /// Panics the peer's local supervisor caught and restarted through.
+    pub caught_panics: usize,
 }
 
 /// One RA's training bundle: agent + env + private RNG stream, shippable

@@ -42,20 +42,50 @@
 //! `Threaded(n)` produce identical report sequences for every `n` — a
 //! contract that extends to deterministic (injected) panics, because both
 //! schedulers run the same supervisor policy per worker slot.
+//!
+//! **Networked mode.** The same round protocol also runs across process
+//! boundaries: a [`Transport`] carries length-prefixed [`WireMsg`] frames
+//! (deterministic in-memory [`LoopbackTransport`], or [`FramedTransport`]
+//! over UDS/TCP with a versioned handshake and bounded send retries), a
+//! [`RegistrationPlane`] tracks ε-ORC-style worker registrations with
+//! round-based leases, and a [`NetCoordinator`]/[`WorkerSession`] pair
+//! drives rounds over those links. A vanished process is detected by its
+//! *lapsed lease* — surfaced as [`DownCause::LeaseExpired`] through the
+//! same [`WorkerDown`] telemetry as an in-process panic — never by a mere
+//! socket disconnect, so the degraded-coordination path is identical in
+//! and out of process.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod clock;
 mod engine;
+pub mod frame;
 mod msg;
+mod net;
+mod registration;
 mod seed;
 mod supervisor;
+mod transport;
 
+pub use clock::{Clock, MockClock, RoundDeadline, TimePoint};
 pub use engine::{par_map, Engine, EngineReport, RoundCoordinator, RoundTelemetry, RoundWorker};
+pub use frame::{FrameError, WireMsg, PROTOCOL_VERSION};
 pub use msg::{Control, CoordInfo, RaReport};
+pub use net::{
+    channel_acceptor, Acceptor, ChannelAcceptor, ListenerAcceptor, NetConfig, NetCoordinator,
+    NetStats, WorkerAck, WorkerCommand, WorkerSession,
+};
+pub use registration::{
+    caps, Lease, NodeInfo, RegStats, Registration, RegistrationError, RegistrationPlane,
+};
 pub use seed::{derive_stream_seed, DOMAIN_FAULTS, DOMAIN_ORCH, DOMAIN_ROUND, DOMAIN_TRAIN};
 pub use supervisor::{DownCause, Supervisor, SupervisorConfig, WorkerDown};
+pub use transport::{
+    client_handshake, connect_tcp, connect_uds, loopback_pair, server_handshake, ByteStream,
+    FramedTransport, LinkStats, LoopbackTransport, NetListener, NetStream, RetryPolicy, Transport,
+    TransportError,
+};
 
 /// How the engine maps RA workers onto OS threads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

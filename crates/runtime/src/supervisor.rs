@@ -37,6 +37,18 @@ pub enum DownCause {
     /// The worker's thread is gone: its report channel disconnected
     /// before the round settled.
     Disconnected,
+    /// The worker's registration lease lapsed: it went `missed_rounds`
+    /// rounds without a round-tagged sign of life, past the
+    /// `budget_rounds` failure deadline it declared at registration.
+    /// Raised by the networked registration plane
+    /// ([`crate::registration::RegistrationPlane`]) — the multi-process
+    /// analogue of a caught panic, absorbed by the same degraded paths.
+    LeaseExpired {
+        /// Rounds without a sign of life when the lease lapsed.
+        missed_rounds: usize,
+        /// The failure deadline the node declared (in rounds).
+        budget_rounds: usize,
+    },
 }
 
 impl std::fmt::Display for DownCause {
@@ -45,6 +57,13 @@ impl std::fmt::Display for DownCause {
             DownCause::Panic(msg) => write!(f, "panic: {msg}"),
             DownCause::RestartsExhausted => write!(f, "restart budget exhausted"),
             DownCause::Disconnected => write!(f, "worker channel disconnected"),
+            DownCause::LeaseExpired {
+                missed_rounds,
+                budget_rounds,
+            } => write!(
+                f,
+                "lease expired: {missed_rounds} rounds without refresh (budget {budget_rounds})"
+            ),
         }
     }
 }
