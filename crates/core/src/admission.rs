@@ -106,10 +106,13 @@ impl DemandEstimate {
         let radio_t = app.radio_bits() / (capacities.radio_mbps * 1e6);
         let transport_t = app.transport_bits() / (capacities.transport_mbps * 1e6);
         let compute_t = app.compute_gflops() / capacities.compute_gflops_s;
+        // Deliberately unclamped: a share above 1.0 means the demand exceeds
+        // the whole domain and must fail admission rather than masquerade as
+        // "exactly full capacity".
         Self {
-            radio: (rate * radio_t / utilization).min(1.0),
-            transport: (rate * transport_t / utilization).min(1.0),
-            compute: (rate * compute_t / utilization).min(1.0),
+            radio: rate * radio_t / utilization,
+            transport: rate * transport_t / utilization,
+            compute: rate * compute_t / utilization,
         }
     }
 
@@ -120,7 +123,10 @@ impl DemandEstimate {
 }
 
 /// The operator-side admission controller.
-#[derive(Debug, Clone)]
+///
+/// Serializable so dynamic-workload runs can embed the committed-demand
+/// ledger in durable snapshots and resume admission decisions exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AdmissionController {
     capacities: RaCapacities,
     /// Target per-domain utilization for admitted slices (headroom for
@@ -174,39 +180,113 @@ impl AdmissionController {
     ///
     /// Returns the binding [`RejectReason`] if any domain lacks capacity.
     pub fn decide(&mut self, request: &SliceRequest) -> Result<SliceSpec, RejectReason> {
+        self.decide_as(SliceId(self.admitted.len()), request)
+    }
+
+    /// Decides a request for a *caller-chosen* [`SliceId`] — the dynamic
+    /// workload generator pre-assigns slot ids at plan time, so re-admission
+    /// after an unrelated release must not recycle a departed slice's id.
+    ///
+    /// # Errors
+    ///
+    /// Returns the binding [`RejectReason`] if any domain lacks capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is already admitted.
+    pub fn decide_as(
+        &mut self,
+        id: SliceId,
+        request: &SliceRequest,
+    ) -> Result<SliceSpec, RejectReason> {
+        assert!(
+            self.admitted.iter().all(|s| s.id != id),
+            "slice id {} is already admitted",
+            id.0
+        );
         let demand = DemandEstimate::for_app(
             &request.app,
             request.expected_rate,
             &self.capacities,
             self.utilization,
         );
+        if let Some(reason) = self.binding_reject(&demand) {
+            return Err(reason);
+        }
+        for (c, v) in self.committed.iter_mut().zip(demand.as_array()) {
+            *c += v;
+        }
+        let spec = SliceSpec::new(id, request.app, request.sla);
+        self.admitted.push(spec);
+        Ok(spec)
+    }
+
+    /// The domain (if any) whose residual capacity cannot absorb `demand`.
+    fn binding_reject(&self, demand: &DemandEstimate) -> Option<RejectReason> {
         let [radio_free, transport_free, computing_free] = self.residual();
-        let d = demand.as_array();
-        let [radio_need, transport_need, computing_need] = d;
+        let [radio_need, transport_need, computing_need] = demand.as_array();
         if radio_need > radio_free + 1e-12 {
-            return Err(RejectReason::RadioExhausted {
+            return Some(RejectReason::RadioExhausted {
                 needed: radio_need,
                 available: radio_free,
             });
         }
         if transport_need > transport_free + 1e-12 {
-            return Err(RejectReason::TransportExhausted {
+            return Some(RejectReason::TransportExhausted {
                 needed: transport_need,
                 available: transport_free,
             });
         }
         if computing_need > computing_free + 1e-12 {
-            return Err(RejectReason::ComputingExhausted {
+            return Some(RejectReason::ComputingExhausted {
                 needed: computing_need,
                 available: computing_free,
             });
         }
-        for (c, v) in self.committed.iter_mut().zip(d) {
+        None
+    }
+
+    /// Resizes an admitted slice in place — make-before-break: the old
+    /// commitment is released, the new demand is tried against the
+    /// residual, and on rejection the old commitment is re-applied so the
+    /// slice keeps serving under its previous SLA untouched.
+    ///
+    /// On success the stored spec is replaced (same id, new SLA) and
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// * [`crate::EdgeSliceError::SliceNotAdmitted`] if `slice` is unknown;
+    /// * [`crate::EdgeSliceError::AdmissionRejected`] if the new demand does
+    ///   not fit — the previous commitment is restored exactly.
+    pub fn resize(
+        &mut self,
+        slice: SliceId,
+        old_rate: f64,
+        new_rate: f64,
+        new_sla: crate::Sla,
+    ) -> Result<SliceSpec, crate::EdgeSliceError> {
+        let pos = self
+            .admitted
+            .iter()
+            .position(|s| s.id == slice)
+            .ok_or(crate::EdgeSliceError::SliceNotAdmitted { slice })?;
+        let app = self.admitted[pos].app;
+        let old = DemandEstimate::for_app(&app, old_rate, &self.capacities, self.utilization);
+        let new = DemandEstimate::for_app(&app, new_rate, &self.capacities, self.utilization);
+        let before = self.committed;
+        for (c, v) in self.committed.iter_mut().zip(old.as_array()) {
+            *c = (*c - v).max(0.0);
+        }
+        if let Some(reason) = self.binding_reject(&new) {
+            self.committed = before;
+            return Err(crate::EdgeSliceError::AdmissionRejected { slice, reason });
+        }
+        for (c, v) in self.committed.iter_mut().zip(new.as_array()) {
             *c += v;
         }
-        let spec = SliceSpec::new(SliceId(self.admitted.len()), request.app, request.sla);
-        self.admitted.push(spec);
-        Ok(spec)
+        self.admitted[pos] = SliceSpec::new(slice, app, new_sla);
+        Ok(self.admitted[pos])
     }
 
     /// Releases a slice's committed demand (tenant teardown over SR).
@@ -332,6 +412,122 @@ mod tests {
             crate::EdgeSliceError::SliceNotAdmitted { slice: SliceId(9) }
         ));
         assert!(err.to_string().contains("slice"));
+    }
+
+    #[test]
+    fn double_release_is_rejected_and_leaves_ledger_unchanged() {
+        let mut ctl = AdmissionController::prototype();
+        let spec = ctl
+            .decide(&request(AppProfile::traffic_heavy(), 10.0))
+            .unwrap();
+        ctl.release(spec.id, 10.0).unwrap();
+        let residual = ctl.residual();
+        let err = ctl.release(spec.id, 10.0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EdgeSliceError::SliceNotAdmitted { slice } if slice == spec.id
+        ));
+        assert_eq!(ctl.residual(), residual, "failed release must not mutate");
+    }
+
+    #[test]
+    fn readmission_after_release_does_not_recycle_ids() {
+        let mut ctl = AdmissionController::prototype();
+        let a = ctl
+            .decide_as(SliceId(0), &request(AppProfile::traffic_heavy(), 10.0))
+            .unwrap();
+        ctl.release(a.id, 10.0).unwrap();
+        // The workload generator pre-assigns the *next* slot id; the
+        // departed id 0 must stay retired.
+        let b = ctl
+            .decide_as(SliceId(1), &request(AppProfile::compute_heavy(), 10.0))
+            .unwrap();
+        assert_eq!(b.id, SliceId(1));
+        assert_eq!(ctl.admitted().len(), 1);
+        assert_eq!(ctl.admitted()[0].id, SliceId(1));
+    }
+
+    #[test]
+    fn repeated_admit_release_cycles_do_not_drift_residual_capacity() {
+        let mut ctl = AdmissionController::prototype();
+        let start = ctl.residual();
+        for i in 0..1000 {
+            let spec = ctl
+                .decide_as(SliceId(i), &request(AppProfile::traffic_heavy(), 7.3))
+                .unwrap();
+            ctl.release(spec.id, 7.3).unwrap();
+        }
+        let end = ctl.residual();
+        for (s, e) in start.iter().zip(end) {
+            assert!(
+                (s - e).abs() < 1e-9,
+                "residual drifted over admit/release cycles: {start:?} -> {end:?}"
+            );
+        }
+        assert!(ctl.admitted().is_empty());
+    }
+
+    #[test]
+    fn resize_grows_and_shrinks_committed_demand() {
+        let mut ctl = AdmissionController::prototype();
+        let spec = ctl
+            .decide(&request(AppProfile::traffic_heavy(), 10.0))
+            .unwrap();
+        let at_10 = ctl.residual();
+        let new_sla = Sla::new(0.9 * Sla::paper().umin);
+        let grown = ctl.resize(spec.id, 10.0, 20.0, new_sla).unwrap();
+        assert_eq!(grown.id, spec.id);
+        assert_eq!(grown.sla, new_sla);
+        assert!(ctl.residual()[0] < at_10[0], "growth commits more radio");
+        ctl.resize(spec.id, 20.0, 10.0, Sla::paper()).unwrap();
+        for (a, b) in at_10.iter().zip(ctl.residual()) {
+            assert!((a - b).abs() < 1e-9, "shrink back must restore residual");
+        }
+    }
+
+    #[test]
+    fn rejected_resize_is_make_before_break() {
+        let mut ctl = AdmissionController::prototype();
+        let spec = ctl
+            .decide(&request(AppProfile::traffic_heavy(), 10.0))
+            .unwrap();
+        let before = ctl.residual();
+        // A rate the radio domain cannot absorb even with slice 0 released.
+        let err = ctl.resize(spec.id, 10.0, 1e6, Sla::paper()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EdgeSliceError::AdmissionRejected {
+                slice,
+                reason: RejectReason::RadioExhausted { .. },
+            } if slice == spec.id
+        ));
+        assert_eq!(
+            ctl.residual(),
+            before,
+            "rejected resize must leave the old commitment serving"
+        );
+        assert_eq!(ctl.admitted()[0].sla, Sla::paper());
+    }
+
+    #[test]
+    fn resize_of_unknown_slice_is_an_error() {
+        let mut ctl = AdmissionController::prototype();
+        let err = ctl.resize(SliceId(4), 1.0, 2.0, Sla::paper()).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::EdgeSliceError::SliceNotAdmitted { slice: SliceId(4) }
+        ));
+    }
+
+    #[test]
+    fn controller_round_trips_through_serde() {
+        let mut ctl = AdmissionController::prototype();
+        ctl.decide(&request(AppProfile::traffic_heavy(), 10.0))
+            .unwrap();
+        let json = serde_json::to_string(&ctl).unwrap();
+        let back: AdmissionController = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.residual(), ctl.residual());
+        assert_eq!(back.admitted(), ctl.admitted());
     }
 
     #[test]

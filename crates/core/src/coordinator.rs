@@ -70,6 +70,12 @@ pub struct CoordinatorState {
     pub dual_clamp: f64,
     /// The staleness budget in effect, rounds.
     pub staleness_budget: usize,
+    /// Active flags per slice row (dynamic workloads; empty means every
+    /// row active, the static default).
+    pub active: Vec<bool>,
+    /// Live per-slice `Umin` (renegotiated SLAs; empty means the
+    /// construction-time SLAs are in force).
+    pub umins: Vec<f64>,
 }
 
 /// The performance coordinator.
@@ -98,6 +104,10 @@ pub struct PerformanceCoordinator {
     staleness_budget: usize,
     /// RAs currently declared dead (past the staleness budget).
     dead: Vec<bool>,
+    /// Active flags per slice row: an inactive slice (slot pending
+    /// arrival, rejected, or departed) leaves the projection entirely —
+    /// its `z`/`y` row is zeroed and neither update touches it.
+    active: Vec<bool>,
 }
 
 impl PerformanceCoordinator {
@@ -130,7 +140,74 @@ impl PerformanceCoordinator {
             staleness: vec![0; n_ras],
             staleness_budget: 3,
             dead: vec![false; n_ras],
+            active: vec![true; slas.len()],
         }
+    }
+
+    /// Activates slice row `slice` with SLA `sla` (a dynamic admission or
+    /// an in-place resize): the row re-enters the projection with `z`
+    /// re-split evenly across the alive RAs and a fresh (zero) dual
+    /// column — the ADMM re-anchors on the new requirement instead of
+    /// ascending on duals accumulated under the old one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is beyond the coordinator's slice capacity.
+    pub fn admit_slice(&mut self, slice: SliceId, sla: Sla) {
+        let i = slice.0;
+        assert!(i < self.slas.len(), "slice {i} beyond capacity");
+        self.slas[i] = sla;
+        self.active[i] = true;
+        let alive = self.dead.iter().filter(|d| !**d).count();
+        let share = if alive == 0 {
+            0.0
+        } else {
+            sla.umin / alive as f64
+        };
+        for j in 0..self.n_ras {
+            self.z[i][j] = if self.dead[j] { 0.0 } else { share };
+            self.y[i][j] = 0.0;
+            self.last_known[i][j] = 0.0;
+        }
+    }
+
+    /// Deactivates slice row `slice` (teardown): its `z`/`y`/last-known
+    /// row is zeroed and the row leaves the projection — the departed
+    /// slice's share of every RA is redistributed to the survivors by the
+    /// next `z`-update, the row analogue of dead-RA column redistribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is beyond the coordinator's slice capacity.
+    pub fn depart_slice(&mut self, slice: SliceId) {
+        let i = slice.0;
+        assert!(i < self.slas.len(), "slice {i} beyond capacity");
+        self.active[i] = false;
+        for j in 0..self.n_ras {
+            self.z[i][j] = 0.0;
+            self.y[i][j] = 0.0;
+            self.last_known[i][j] = 0.0;
+        }
+    }
+
+    /// Renegotiates an active slice's SLA in place. Equivalent to
+    /// re-admitting the row under the new requirement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is beyond the coordinator's slice capacity.
+    pub fn resize_slice(&mut self, slice: SliceId, sla: Sla) {
+        self.admit_slice(slice, sla);
+    }
+
+    /// Whether slice row `slice` is currently in the projection.
+    pub fn slice_active(&self, slice: SliceId) -> bool {
+        self.active[slice.0]
+    }
+
+    /// Slice `slice`'s live `Umin` (tracks renegotiated SLAs).
+    pub fn slice_umin(&self, slice: SliceId) -> f64 {
+        self.slas[slice.0].umin
     }
 
     /// Adjusts the dual safeguard bound (default 50).
@@ -244,6 +321,9 @@ impl PerformanceCoordinator {
             if alive.is_empty() {
                 break; // Total blackout: hold z and y until someone rejoins.
             }
+            if !self.active[i] {
+                continue; // Departed/pending row: stays zeroed, no updates.
+            }
             // c = Σ_t U + y over the alive columns only; project onto
             // { Σ_{j alive} z ≥ Umin_i } — a dead RA's share of the SLA is
             // redistributed across the survivors, not silently zeroed.
@@ -330,6 +410,8 @@ impl PerformanceCoordinator {
             residual_history: self.tracker.history().to_vec(),
             dual_clamp: self.dual_clamp,
             staleness_budget: self.staleness_budget,
+            active: self.active.clone(),
+            umins: self.slas.iter().map(|s| s.umin).collect(),
         }
     }
 
@@ -351,7 +433,11 @@ impl PerformanceCoordinator {
                 .chain(&state.last_known)
                 .all(|row| row.len() == self.n_ras)
             && state.staleness.len() == self.n_ras
-            && state.dead.len() == self.n_ras;
+            && state.dead.len() == self.n_ras
+            // Lifecycle fields: empty means "static defaults" (a pre-churn
+            // snapshot), otherwise one entry per slice row.
+            && (state.active.is_empty() || state.active.len() == n_slices)
+            && (state.umins.is_empty() || state.umins.len() == n_slices);
         if !shape_ok {
             return Err(crate::EdgeSliceError::SnapshotMismatch {
                 reason: format!(
@@ -371,6 +457,14 @@ impl PerformanceCoordinator {
         self.tracker = ConvergenceTracker::from_history(state.residual_history.clone());
         self.dual_clamp = state.dual_clamp;
         self.staleness_budget = state.staleness_budget;
+        if !state.active.is_empty() {
+            self.active = state.active.clone();
+        }
+        if !state.umins.is_empty() {
+            for (sla, &umin) in self.slas.iter_mut().zip(&state.umins) {
+                *sla = Sla::new(umin);
+            }
+        }
         Ok(())
     }
 
@@ -567,6 +661,87 @@ mod tests {
             small.restore(&state),
             Err(crate::EdgeSliceError::SnapshotMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn departed_row_leaves_the_projection_and_survivors_absorb_it() {
+        let mut c = coordinator();
+        let achieved = vec![vec![-100.0, -100.0], vec![-100.0, -100.0]];
+        c.update(&achieved);
+        c.depart_slice(SliceId(0));
+        assert!(!c.slice_active(SliceId(0)));
+        assert!(c.z()[0].iter().all(|&z| z == 0.0));
+        assert!(c.y()[0].iter().all(|&y| y == 0.0));
+        // Updates no longer move the departed row, and the live row still
+        // gets its full SLA.
+        c.update(&achieved);
+        assert!(c.z()[0].iter().all(|&z| z == 0.0));
+        assert!(c.y()[0].iter().all(|&y| y == 0.0));
+        let live_sum: f64 = c.z()[1].iter().sum();
+        assert!(live_sum >= c.slas[1].umin - 1e-9);
+    }
+
+    #[test]
+    fn admitted_row_reenters_with_even_split_and_fresh_duals() {
+        let mut c = coordinator();
+        let achieved = vec![vec![-100.0, -100.0], vec![-100.0, -100.0]];
+        c.update(&achieved);
+        c.depart_slice(SliceId(0));
+        c.update(&achieved);
+        c.admit_slice(SliceId(0), Sla::new(-30.0));
+        assert!(c.slice_active(SliceId(0)));
+        assert_eq!(c.slice_umin(SliceId(0)), -30.0);
+        assert_eq!(c.z()[0], vec![-15.0, -15.0]);
+        assert!(c.y()[0].iter().all(|&y| y == 0.0));
+        // The new SLA governs the projection from the next update on.
+        c.update(&achieved);
+        let sum: f64 = c.z()[0].iter().sum();
+        assert!(
+            sum >= -30.0 - 1e-9,
+            "row must satisfy the *new* Umin: {sum}"
+        );
+    }
+
+    #[test]
+    fn admit_skips_dead_columns() {
+        let mut c = coordinator();
+        c.set_staleness_budget(0);
+        let achieved = vec![vec![-100.0, -100.0], vec![-100.0, -100.0]];
+        c.update(&achieved);
+        c.update_partial(&achieved, &[true, false]);
+        assert!(c.is_dead(RaId(1)));
+        c.admit_slice(SliceId(0), Sla::new(-40.0));
+        assert_eq!(c.z()[0], vec![-40.0, 0.0], "dead column stays zeroed");
+    }
+
+    #[test]
+    fn lifecycle_state_round_trips_through_snapshot() {
+        let mut c = coordinator();
+        let achieved = vec![vec![-100.0, -100.0], vec![-100.0, -100.0]];
+        c.update(&achieved);
+        c.depart_slice(SliceId(1));
+        c.resize_slice(SliceId(0), Sla::new(-35.0));
+        let state = c.snapshot();
+        assert_eq!(state.active, vec![true, false]);
+        assert_eq!(state.umins, vec![-35.0, -50.0]);
+        let mut fresh = coordinator();
+        fresh.restore(&state).unwrap();
+        assert!(!fresh.slice_active(SliceId(1)));
+        assert_eq!(fresh.slice_umin(SliceId(0)), -35.0);
+        assert_eq!(fresh.snapshot(), state);
+    }
+
+    #[test]
+    fn restore_accepts_pre_churn_snapshots_with_empty_lifecycle_fields() {
+        let mut c = coordinator();
+        c.update(&[vec![-100.0, -80.0], vec![-10.0, -5.0]]);
+        let mut state = c.snapshot();
+        state.active.clear();
+        state.umins.clear();
+        let mut fresh = coordinator();
+        fresh.restore(&state).unwrap();
+        assert!(fresh.slice_active(SliceId(0)) && fresh.slice_active(SliceId(1)));
+        assert_eq!(fresh.slice_umin(SliceId(0)), -50.0);
     }
 
     #[test]

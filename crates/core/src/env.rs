@@ -146,6 +146,16 @@ pub struct RaSliceEnv {
     /// fault injection (`1.0` when healthy): a share `x` of a degraded
     /// domain delivers what `x · scale` of the nominal capacity would.
     capacity_scale: [f64; 3],
+    /// Per-slice activity flags (dynamic workloads): an inactive slot's
+    /// shares are zeroed before the Eq. 15 penalty and before service, its
+    /// traffic draw is discarded, and its performance is 0. Traffic is
+    /// still *drawn* each interval so the round RNG stream is identical
+    /// whatever the live slice set.
+    active: Vec<bool>,
+    /// Negotiated per-slice rate overrides: `Some(r)` replaces the
+    /// construction-time source with `Poisson(r)` (dynamic admission or
+    /// resize), `None` keeps the configured source.
+    rate_overrides: Vec<Option<f64>>,
 }
 
 impl std::fmt::Debug for RaSliceEnv {
@@ -201,6 +211,102 @@ impl RaSliceEnv {
             last_shares: vec![DomainShares::new(0.0, 0.0, 0.0); n],
             last_service: vec![f64::INFINITY; n],
             capacity_scale: [1.0; 3],
+            active: vec![true; n],
+            rate_overrides: vec![None; n],
+        }
+    }
+
+    /// Per-slice activity flags (all `true` for static workloads).
+    pub fn slice_active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Per-slice negotiated rate overrides (`None` = configured source).
+    pub fn rate_overrides(&self) -> &[Option<f64>] {
+        &self.rate_overrides
+    }
+
+    /// Activates or deactivates slice `i`. Either transition flushes the
+    /// slot's queue: a departing tenant takes its backlog with it, and an
+    /// arriving one starts empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the slice capacity.
+    pub fn set_slice_active(&mut self, i: usize, active: bool) {
+        assert!(i < self.n_slices(), "slice {i} beyond capacity");
+        if self.active[i] != active {
+            self.queues[i].flush();
+        }
+        self.active[i] = active;
+    }
+
+    /// Installs the negotiated Poisson rate for slice `i` (dynamic
+    /// admission or in-place resize).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is beyond the slice capacity or `rate` is not a
+    /// finite non-negative number.
+    pub fn set_slice_rate(&mut self, i: usize, rate: f64) {
+        assert!(i < self.n_slices(), "slice {i} beyond capacity");
+        self.traffic[i] = Box::new(edgeslice_netsim::PoissonTraffic::new(rate));
+        self.rate_overrides[i] = Some(rate);
+    }
+
+    /// Converges the environment onto an absolute lifecycle state from the
+    /// coordinator (idempotent; diffs against local state so repeated
+    /// applications are free and a worker that missed rounds self-heals).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EdgeSliceError::SnapshotMismatch`] if the state is
+    /// shaped for a different slice capacity; the environment is left
+    /// untouched.
+    pub fn apply_lifecycle(
+        &mut self,
+        state: &crate::workload::LifecycleState,
+    ) -> Result<(), crate::EdgeSliceError> {
+        let n = self.n_slices();
+        if state.active.len() != n || state.rates.len() != n {
+            return Err(crate::EdgeSliceError::SnapshotMismatch {
+                reason: format!(
+                    "lifecycle state covers {} slots, environment has {n}",
+                    state.active.len()
+                ),
+            });
+        }
+        for i in 0..n {
+            if let Some(rate) = state.rates[i] {
+                if self.rate_overrides[i] != Some(rate) {
+                    self.set_slice_rate(i, rate);
+                }
+            }
+            if state.active[i] != self.active[i] {
+                self.set_slice_active(i, state.active[i]);
+            }
+        }
+        Ok(())
+    }
+
+    /// Restores lifecycle flags captured by a durable snapshot. Unlike
+    /// [`RaSliceEnv::apply_lifecycle`] this never flushes queues — the
+    /// snapshot's queues already reflect every past transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a slice-capacity mismatch.
+    pub fn restore_lifecycle(&mut self, active: &[bool], rates: &[Option<f64>]) {
+        assert_eq!(active.len(), self.n_slices(), "active flag count mismatch");
+        assert_eq!(rates.len(), self.n_slices(), "rate override count mismatch");
+        self.active.copy_from_slice(active);
+        for (i, rate) in rates.iter().enumerate() {
+            if let Some(r) = rate {
+                if self.rate_overrides[i] != Some(*r) {
+                    self.traffic[i] = Box::new(edgeslice_netsim::PoissonTraffic::new(*r));
+                    self.rate_overrides[i] = Some(*r);
+                }
+            }
         }
     }
 
@@ -401,8 +507,15 @@ impl RaSliceEnv {
     /// RL trait impl and the orchestrator loop.
     pub fn advance(&mut self, action: &[f64], rng: &mut StdRng) -> (f64, Vec<f64>) {
         // The Eq. 15 capacity penalty is computed on the raw action; the
-        // substrates only ever see a feasible (projected) one.
-        let raw_shares = self.decode_action(action);
+        // substrates only ever see a feasible (projected) one. An inactive
+        // slot's shares are zeroed first: a departed tenant neither holds
+        // capacity nor pays the over-allocation penalty.
+        let mut raw_shares = self.decode_action(action);
+        for (sh, active) in raw_shares.iter_mut().zip(&self.active) {
+            if !active {
+                *sh = DomainShares::new(0.0, 0.0, 0.0);
+            }
+        }
         let shares = if self.config.project_shares {
             let mut columns: [Vec<f64>; ResourceKind::COUNT] =
                 std::array::from_fn(|k| raw_shares.iter().map(|s| s.as_array()[k]).collect());
@@ -419,11 +532,22 @@ impl RaSliceEnv {
         let service = self.service_times(&shares);
 
         // Queue dynamics: arrivals, then service at Δt / service_time.
+        // Traffic is drawn for *every* slot — and discarded for inactive
+        // ones — so the round RNG stream is identical whatever the live
+        // slice set (the determinism contract under churn).
         let mut perf = Vec::with_capacity(self.n_slices());
-        for ((queue, traffic), &service_time) in
-            self.queues.iter_mut().zip(&self.traffic).zip(&service)
+        for (i, ((queue, traffic), &service_time)) in self
+            .queues
+            .iter_mut()
+            .zip(&self.traffic)
+            .zip(&service)
+            .enumerate()
         {
             let arrivals = traffic.arrivals(self.global_t, rng);
+            if !self.active[i] {
+                perf.push(0.0);
+                continue;
+            }
             queue.arrive(arrivals);
             let capacity = if service_time.is_finite() && service_time > 0.0 {
                 self.config.interval_s / service_time

@@ -49,6 +49,17 @@ pub enum EdgeSliceError {
     /// A fault plan was internally inconsistent (e.g. an RA index beyond
     /// the system size, a non-finite degradation factor).
     InvalidFaultPlan(String),
+    /// A workload plan was internally inconsistent (e.g. out-of-order
+    /// arrival ids, an event past the horizon, a non-finite rate).
+    InvalidWorkloadPlan(String),
+    /// A slice request (fresh admission or an in-place resize) was
+    /// rejected by the admission controller for lack of capacity.
+    AdmissionRejected {
+        /// The slice the request concerned.
+        slice: SliceId,
+        /// The binding capacity domain.
+        reason: crate::admission::RejectReason,
+    },
     /// An I/O operation on the durable checkpoint store failed.
     Io {
         /// The file or directory involved.
@@ -109,6 +120,10 @@ impl std::fmt::Display for EdgeSliceError {
                 write!(f, "slice {} was never admitted", slice.0)
             }
             Self::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            Self::InvalidWorkloadPlan(msg) => write!(f, "invalid workload plan: {msg}"),
+            Self::AdmissionRejected { slice, reason } => {
+                write!(f, "slice {} rejected by admission: {reason}", slice.0)
+            }
             Self::Io { path, source } => {
                 write!(
                     f,

@@ -60,6 +60,11 @@ pub(crate) struct RaRoundBody {
     pub global_t: usize,
     /// The round's per-(interval, slice) monitor rows.
     pub records: Vec<MonitorRecord>,
+    /// Per-slice activity flags after this round (dynamic workloads;
+    /// empty — e.g. from a pre-churn peer — means all slots active).
+    pub active: Vec<bool>,
+    /// Per-slice negotiated rate overrides after this round.
+    pub rates: Vec<Option<f64>>,
 }
 
 /// Encodes a round body for the wire (the networked runtime carries it as
@@ -184,6 +189,26 @@ impl RoundWorker for RaExecWorker<'_> {
             DOMAIN_ROUND,
             round_off as u64,
         ));
+        // Converge on the broadcast slice-lifecycle state *before* the
+        // dark-RA early return, so an RA serving nothing still tracks
+        // admissions/teardowns and rejoins with the correct slice set.
+        if !info.lifecycle.is_empty() {
+            match crate::workload::LifecycleState::decode(&info.lifecycle) {
+                Ok(state) => {
+                    if let Err(err) = self.env.apply_lifecycle(&state) {
+                        eprintln!(
+                            "edgeslice: ignoring mis-shaped lifecycle payload \
+                             (ra {}): {err}",
+                            self.ra.0
+                        );
+                    }
+                }
+                Err(err) => eprintln!(
+                    "edgeslice: ignoring undecodable lifecycle payload (ra {}): {err}",
+                    self.ra.0
+                ),
+            }
+        }
         let round = self.round_base + round_off;
         if view.down {
             // Outage start: make-before-break — snapshot the policy the
@@ -250,6 +275,8 @@ impl RoundWorker for RaExecWorker<'_> {
                 coordination: self.env.coordination().to_vec(),
                 global_t: self.env.global_t(),
                 records,
+                active: self.env.slice_active().to_vec(),
+                rates: self.env.rate_overrides().to_vec(),
             }),
         }
     }
@@ -313,6 +340,10 @@ pub(crate) struct SystemExecCoordinator<'a> {
     policies: Vec<Option<PolicyCheckpoint>>,
     /// Durable sink: `(store, every_k, master_seed)`.
     sink: Option<(&'a CheckpointStore, usize, u64)>,
+    /// The dynamic-workload state machine, when a workload plan is set:
+    /// its events are applied at the top of each broadcast and its
+    /// absolute state rides the `CoordInfo::lifecycle` payload.
+    lifecycle: Option<&'a mut crate::workload::SliceLifecycle>,
     /// The per-round records accumulated so far.
     pub report: RunReport,
 }
@@ -340,13 +371,25 @@ impl<'a> SystemExecCoordinator<'a> {
                     coordination: Vec::new(),
                     global_t: 0,
                     was_down: false,
+                    active: Vec::new(),
+                    rates: Vec::new(),
                 })
                 .collect(),
             panic_counts: vec![0; n_ras],
             policies: vec![None; n_ras],
             sink: None,
+            lifecycle: None,
             report: RunReport::default(),
         }
+    }
+
+    /// Attaches the dynamic-workload state machine for this run.
+    pub(crate) fn with_workload(
+        mut self,
+        lifecycle: Option<&'a mut crate::workload::SliceLifecycle>,
+    ) -> Self {
+        self.lifecycle = lifecycle;
+        self
     }
 
     /// Seeds the coordinator with resume (or fresh-run) state: the per-RA
@@ -381,9 +424,51 @@ impl<'a> SystemExecCoordinator<'a> {
 impl RoundCoordinator for SystemExecCoordinator<'_> {
     type Body = RaRoundBody;
 
-    fn broadcast(&mut self, _round: usize) -> Vec<Vec<f64>> {
+    fn broadcast(&mut self, round: usize) -> Vec<Vec<f64>> {
+        // Apply this round's lifecycle events *before* computing `z − y`,
+        // so the broadcast already reflects admissions, resizes and
+        // teardowns decided this round.
+        if let Some(lc) = self.lifecycle.as_deref_mut() {
+            use crate::monitor::{LifecycleChange, LifecycleRecord};
+            use crate::workload::LifecycleAction;
+            let global_round = self.round_base + round;
+            for action in lc.apply_round(round) {
+                let (slice, change) = match action {
+                    LifecycleAction::Admitted { slice, sla } => {
+                        self.coordinator.admit_slice(slice, sla);
+                        (slice, LifecycleChange::Admitted)
+                    }
+                    LifecycleAction::Rejected { slice, reason } => {
+                        (slice, LifecycleChange::Rejected { reason })
+                    }
+                    LifecycleAction::Resized { slice, sla } => {
+                        self.coordinator.resize_slice(slice, sla);
+                        (slice, LifecycleChange::Resized)
+                    }
+                    LifecycleAction::ResizeRejected { slice, reason } => {
+                        (slice, LifecycleChange::ResizeRejected { reason })
+                    }
+                    LifecycleAction::Departed { slice } => {
+                        self.coordinator.depart_slice(slice);
+                        (slice, LifecycleChange::Departed)
+                    }
+                };
+                self.monitor.record_lifecycle(LifecycleRecord {
+                    round: global_round,
+                    slice,
+                    change,
+                });
+            }
+        }
         let info = self.coordinator.coordination_info();
         (0..self.n_ras).map(|j| info.for_ra(RaId(j))).collect()
+    }
+
+    fn lifecycle_delta(&mut self, _round: usize) -> Vec<u8> {
+        match self.lifecycle.as_deref() {
+            Some(lc) => lc.state().encode(),
+            None => Vec::new(),
+        }
     }
 
     fn collect(
@@ -480,6 +565,8 @@ impl RoundCoordinator for SystemExecCoordinator<'_> {
                             coordination: body.coordination,
                             global_t: body.global_t,
                             was_down: false,
+                            active: body.active,
+                            rates: body.rates,
                         };
                         for record in body.records {
                             self.monitor.record(record);
@@ -501,10 +588,17 @@ impl RoundCoordinator for SystemExecCoordinator<'_> {
         let served_fraction = self
             .monitor
             .round_served_fraction(round, self.n_ras, self.period);
+        // SLA checks run against the coordinator's *live* contracts:
+        // admissions and resizes update `Umin` online, and an inactive
+        // slot (pending, rejected, departed) trivially meets its SLA.
         let sla_met: Vec<bool> = self
             .slices
             .iter()
-            .map(|s| slice_performance[s.id.0] >= s.sla.umin * served_fraction - 1e-9)
+            .map(|s| {
+                !self.coordinator.slice_active(s.id)
+                    || slice_performance[s.id.0]
+                        >= self.coordinator.slice_umin(s.id) * served_fraction - 1e-9
+            })
             .collect();
         let usage: Vec<[f64; 3]> = (0..n_slices)
             .map(|i| self.monitor.round_usage(round, SliceId(i)))
@@ -534,6 +628,11 @@ impl RoundCoordinator for SystemExecCoordinator<'_> {
                     panic_counts: self.panic_counts.clone(),
                     rounds: self.report.rounds.clone(),
                     supervision: self.report.supervision.clone(),
+                    slices: self.slices.to_vec(),
+                    lifecycle: self
+                        .lifecycle
+                        .as_deref()
+                        .map(crate::workload::SliceLifecycle::snapshot),
                 };
                 // A failed checkpoint write degrades resumability, not the
                 // run itself: report it and keep going.

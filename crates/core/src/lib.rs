@@ -19,7 +19,10 @@
 //! * the [`RaSliceEnv`] simulated network environment used for offline
 //!   agent training (Fig. 5, Sec. VI-B);
 //! * the [`Taro`] baseline and the EdgeSlice-NT ablation
-//!   ([`StateSpec::CoordinationOnly`]) from Sec. VII-B.
+//!   ([`StateSpec::CoordinationOnly`]) from Sec. VII-B;
+//! * a dynamic-workload subsystem ([`WorkloadPlan`] / [`SliceLifecycle`])
+//!   driving online slice admission, make-before-break resize, and
+//!   teardown through the [`AdmissionController`] mid-run (DESIGN.md §13).
 //!
 //! # Quickstart
 //!
@@ -62,6 +65,7 @@ mod perf;
 mod reward;
 mod sla;
 mod store;
+mod workload;
 
 pub use admission::{AdmissionController, DemandEstimate, RejectReason, SliceRequest};
 pub use agent::{AgentBackend, AgentConfig, OrchestrationAgent};
@@ -73,7 +77,7 @@ pub use error::EdgeSliceError;
 pub use faults::{FaultConfig, FaultEvent, FaultInjector, FaultPlan, RaFaultView};
 pub use ids::{RaId, ResourceKind, SliceId};
 pub use managers::{ManagerError, ResourceManagers, SliceAllocation};
-pub use monitor::{IntervalStatus, MonitorRecord, SystemMonitor};
+pub use monitor::{IntervalStatus, LifecycleChange, LifecycleRecord, MonitorRecord, SystemMonitor};
 pub use orchestrator::{
     project_action_per_resource, DownEvent, EdgeSliceSystem, OrchestratorKind, RoundRecord,
     RunReport, ServeOutcome, SupervisionStats, SystemConfig, TrafficKind, WorkerNetOptions,
@@ -95,3 +99,7 @@ pub use edgeslice_runtime::{
 pub use perf::{NegServiceTime, PerformanceFunction, QueuePenalty};
 pub use reward::{reward, RewardParams};
 pub use sla::{Sla, SliceSpec};
+pub use workload::{
+    ArrivalModel, LifecycleAction, LifecycleSnapshot, LifecycleState, ScheduledEvent, SliceEvent,
+    SliceLifecycle, SliceLifetime, SlotStatus, WorkloadConfig, WorkloadPlan,
+};

@@ -63,10 +63,45 @@ impl MonitorRecord {
     }
 }
 
+/// What happened to a slice at a lifecycle transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LifecycleChange {
+    /// The slice was admitted and its ADMM row activated.
+    Admitted,
+    /// Admission control rejected the arrival; the slot is retired.
+    Rejected {
+        /// The binding resource domain.
+        reason: crate::RejectReason,
+    },
+    /// A make-before-break resize committed a new SLA.
+    Resized,
+    /// A resize was rejected; the slice keeps its previous contract.
+    ResizeRejected {
+        /// The binding resource domain.
+        reason: crate::RejectReason,
+    },
+    /// The slice departed and its resources were released.
+    Departed,
+}
+
+/// One slice lifecycle transition, recorded by the monitor when the
+/// coordinator applies a workload event (admit / resize / teardown).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifecycleRecord {
+    /// Global coordination round the transition took effect in.
+    pub round: usize,
+    /// The slice (slot id — stable across the whole run).
+    pub slice: SliceId,
+    /// The transition.
+    pub change: LifecycleChange,
+}
+
 /// The monitor database.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SystemMonitor {
     records: Vec<MonitorRecord>,
+    /// Slice lifecycle transitions, in application order.
+    lifecycle: Vec<LifecycleRecord>,
     /// IMSI → slice (learned from S1AP via the radio manager).
     imsi_assoc: BTreeMap<Imsi, SliceId>,
     /// IP → slice (used by transport and computing managers).
@@ -107,6 +142,16 @@ impl SystemMonitor {
     /// All records, in arrival order.
     pub fn records(&self) -> &[MonitorRecord] {
         &self.records
+    }
+
+    /// Appends a slice lifecycle transition.
+    pub fn record_lifecycle(&mut self, record: LifecycleRecord) {
+        self.lifecycle.push(record);
+    }
+
+    /// All lifecycle transitions, in application order.
+    pub fn lifecycle(&self) -> &[LifecycleRecord] {
+        &self.lifecycle
     }
 
     /// RC-M query: `Σ_t U_{i,j}` for one round, indexed `[slice][ra]` —

@@ -262,6 +262,10 @@ pub struct RunReport {
     pub rounds: Vec<RoundRecord>,
     /// Supervision telemetry accumulated over the run.
     pub supervision: SupervisionStats,
+    /// Per-slot lifecycle outcomes (admit round, depart round, reject
+    /// reason, resize count) for dynamic-workload runs; empty for static
+    /// runs.
+    pub slice_lifetimes: Vec<crate::SliceLifetime>,
 }
 
 impl RunReport {
@@ -316,6 +320,9 @@ pub struct EdgeSliceSystem {
     /// Per-RA policies restored from snapshots; when set, workers decide
     /// with these instead of the live agents (bit-identical either way).
     policy_overrides: Vec<Option<PolicyCheckpoint>>,
+    /// Dynamic-workload state machine (see
+    /// [`EdgeSliceSystem::set_workload`]); `None` = static slice set.
+    workload: Option<crate::workload::SliceLifecycle>,
 }
 
 impl std::fmt::Debug for EdgeSliceSystem {
@@ -360,6 +367,7 @@ impl EdgeSliceSystem {
             store: None,
             checkpoint_every: 4,
             policy_overrides: vec![None; n_ras],
+            workload: None,
         }
     }
 
@@ -513,6 +521,8 @@ impl EdgeSliceSystem {
                         coordination: unit.env.coordination().to_vec(),
                         global_t: unit.env.global_t(),
                         was_down: false,
+                        active: unit.env.slice_active().to_vec(),
+                        rates: unit.env.rate_overrides().to_vec(),
                     },
                 };
                 if let Err(err) = store.save_train(&snap) {
@@ -623,6 +633,64 @@ impl EdgeSliceSystem {
         self.coordinator.set_staleness_budget(rounds);
     }
 
+    /// Attaches a dynamic workload: the plan's lifecycle events (arrivals,
+    /// resizes, teardowns) are replayed online through `admission` by
+    /// subsequent `run*` calls. The system must have been constructed with
+    /// [`crate::WorkloadPlan::slot_specs`] as its slice set — policy
+    /// network dimensions are fixed at construction, so every slot (initial
+    /// slices plus planned arrivals) pre-exists and events merely activate
+    /// or retire them.
+    ///
+    /// Initial slices are admitted immediately (a round-0 rejection is a
+    /// recorded outcome, not an error); pending and rejected slots start
+    /// deactivated in the ADMM coordinator and the substrate environments,
+    /// so training and static reports are unaffected until events fire.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeSliceError::InvalidWorkloadPlan`] if the plan's slot
+    /// list does not match this system's configured slices.
+    pub fn set_workload(
+        &mut self,
+        plan: crate::WorkloadPlan,
+        admission: crate::AdmissionController,
+    ) -> Result<(), EdgeSliceError> {
+        let specs = plan.slot_specs();
+        if specs != self.config.slices {
+            return Err(EdgeSliceError::InvalidWorkloadPlan(format!(
+                "plan covers {} slot(s) that do not match the system's {} configured slice(s); \
+                 construct the system with WorkloadPlan::slot_specs()",
+                specs.len(),
+                self.config.slices.len()
+            )));
+        }
+        self.workload = Some(crate::workload::SliceLifecycle::new(plan, admission));
+        Ok(())
+    }
+
+    /// The attached dynamic-workload state machine, if any.
+    pub fn workload(&self) -> Option<&crate::workload::SliceLifecycle> {
+        self.workload.as_ref()
+    }
+
+    /// Deactivates coordinator rows and substrate slots that the workload
+    /// machine reports as not currently serving, so a run starts from the
+    /// machine's present state (round 0 of a fresh plan: initial slices
+    /// active, planned arrivals pending).
+    fn sync_lifecycle_into_substrate(&mut self) {
+        let Some(lc) = &self.workload else { return };
+        let state = lc.state();
+        for (i, active) in state.active.iter().enumerate() {
+            if !active {
+                self.coordinator.depart_slice(SliceId(i));
+            }
+        }
+        for env in &mut self.envs {
+            env.apply_lifecycle(&state)
+                .expect("invariant: set_workload validated the plan against this system's slices");
+        }
+    }
+
     /// Runs Alg. 1 for at most `max_rounds` coordination rounds (stopping
     /// early on ADMM convergence) and reports per-round outcomes.
     pub fn run(&mut self, max_rounds: usize, rng: &mut StdRng) -> RunReport {
@@ -725,14 +793,38 @@ impl EdgeSliceSystem {
                 ),
             });
         }
+        snap.validate_slices(&self.config.slices)?;
+        match (self.workload.as_mut(), snap.lifecycle) {
+            (Some(lc), Some(state)) => lc.restore(state)?,
+            (Some(_), None) => {
+                return Err(EdgeSliceError::SnapshotMismatch {
+                    reason: "this system has a workload plan but the snapshot carries no \
+                             lifecycle state"
+                        .into(),
+                });
+            }
+            (None, Some(_)) => {
+                return Err(EdgeSliceError::SnapshotMismatch {
+                    reason: "the snapshot carries lifecycle state but this system has no \
+                             workload plan"
+                        .into(),
+                });
+            }
+            (None, None) => {}
+        }
         self.coordinator.restore(&snap.coordinator)?;
         self.policy_overrides = snap.policies;
-        let prefix = RunReport {
+        let mut prefix = RunReport {
             rounds: snap.rounds,
             supervision: snap.supervision,
+            slice_lifetimes: Vec::new(),
         };
         if snap.next_round >= max_rounds {
-            // The interrupted run had already finished these rounds.
+            // The interrupted run had already finished these rounds; its
+            // lifecycle outcomes are the restored machine's.
+            if let Some(lc) = &self.workload {
+                prefix.slice_lifetimes = lc.lifetimes().to_vec();
+            }
             return Ok(prefix);
         }
         Ok(self.run_rounds(
@@ -765,9 +857,22 @@ impl EdgeSliceSystem {
         }
         let (first_round, round_base, worker_state, panic_counts, prefix) = match resume {
             Some(state) => {
-                // Rewind every environment to the snapshot boundary.
+                // Rewind every environment to the snapshot boundary,
+                // including its slot activity and rate overrides (absent
+                // on pre-churn snapshots: fall back to the restored
+                // workload machine's present state).
                 for (env, ws) in self.envs.iter_mut().zip(&state.worker_state) {
                     env.restore_round_state(ws.queues.clone(), &ws.coordination, ws.global_t);
+                    if !ws.active.is_empty() {
+                        env.restore_lifecycle(&ws.active, &ws.rates);
+                    }
+                }
+                if state
+                    .worker_state
+                    .first()
+                    .is_some_and(|ws| ws.active.is_empty())
+                {
+                    self.sync_lifecycle_into_substrate();
                 }
                 (
                     state.first_round,
@@ -779,6 +884,10 @@ impl EdgeSliceSystem {
             }
             None => {
                 let round_base = self.monitor.rounds();
+                // A fresh dynamic run starts from the workload machine's
+                // present state: initial slices active, planned arrivals
+                // pending (deactivated rows and slots).
+                self.sync_lifecycle_into_substrate();
                 // The initial snapshot state is the environments as they
                 // stand at run start (post-training baseline).
                 let worker_state = self
@@ -791,6 +900,8 @@ impl EdgeSliceSystem {
                         coordination: env.coordination().to_vec(),
                         global_t: env.global_t(),
                         was_down: false,
+                        active: env.slice_active().to_vec(),
+                        rates: env.rate_overrides().to_vec(),
                     })
                     .collect();
                 (
@@ -854,7 +965,8 @@ impl EdgeSliceSystem {
             period,
             round_base,
         )
-        .with_state(worker_state, panic_counts.clone(), policies, prefix);
+        .with_state(worker_state, panic_counts.clone(), policies, prefix)
+        .with_workload(self.workload.as_mut());
         if let Some(store) = &self.store {
             exec = exec.with_sink(store, self.checkpoint_every, master);
         }
@@ -863,8 +975,11 @@ impl EdgeSliceSystem {
             .with_supervisor(self.supervision)
             .with_prior_panics(panic_counts)
             .run_from(&mut workers, &mut exec, first_round, max_rounds);
-        let report = exec.report;
+        let mut report = exec.report;
         drop(workers);
+        if let Some(lc) = &self.workload {
+            report.slice_lifetimes = lc.lifetimes().to_vec();
+        }
         // Leave the substrates healthy for subsequent runs.
         for env in &mut self.envs {
             env.set_capacity_scale([1.0; 3]);
@@ -929,6 +1044,7 @@ impl EdgeSliceSystem {
             env.set_randomize_coord(false);
         }
         let round_base = self.monitor.rounds();
+        self.sync_lifecycle_into_substrate();
         let worker_state: Vec<WorkerSnapshot> = self
             .envs
             .iter()
@@ -939,6 +1055,8 @@ impl EdgeSliceSystem {
                 coordination: env.coordination().to_vec(),
                 global_t: env.global_t(),
                 was_down: false,
+                active: env.slice_active().to_vec(),
+                rates: env.rate_overrides().to_vec(),
             })
             .collect();
         let policies = self.effective_policies();
@@ -951,13 +1069,15 @@ impl EdgeSliceSystem {
             period,
             round_base,
         )
-        .with_state(worker_state, vec![0; n_ras], policies, RunReport::default());
+        .with_state(worker_state, vec![0; n_ras], policies, RunReport::default())
+        .with_workload(self.workload.as_mut());
         if let Some(store) = &self.store {
             exec = exec.with_sink(store, self.checkpoint_every, master);
         }
         for round in 0..max_rounds {
             let zys = exec.broadcast(round);
-            let (raw, mut telemetry) = net.run_round(round, &zys);
+            let lifecycle = exec.lifecycle_delta(round);
+            let (raw, mut telemetry) = net.run_round(round, &zys, &lifecycle);
             let mut slots: Vec<Option<RaReport<crate::exec::RaRoundBody>>> =
                 Vec::with_capacity(n_ras);
             for slot in raw {
@@ -1002,6 +1122,9 @@ impl EdgeSliceSystem {
         report.supervision.sends_abandoned += stats.sends_abandoned;
         report.supervision.leases_expired += stats.leases_expired;
         report.supervision.rejoins += stats.rejoins;
+        if let Some(lc) = &self.workload {
+            report.slice_lifetimes = lc.lifetimes().to_vec();
+        }
         for env in &mut self.envs {
             env.set_capacity_scale([1.0; 3]);
         }
@@ -1081,12 +1204,25 @@ impl EdgeSliceSystem {
                         &ws.coordination,
                         ws.global_t,
                     );
+                    if !ws.active.is_empty() {
+                        self.envs[ra.0].restore_lifecycle(&ws.active, &ws.rates);
+                    }
                     was_down = ws.was_down;
                     panic_count = snap.panic_counts[ra.0];
                     policy_override = snap.policies[ra.0].clone().or(policy_override);
                     round_base = snap.round_base;
                     resynced_from = Some(snap.next_round);
                 }
+            }
+        }
+        // A fresh (non-resynced) dynamic worker starts from the workload
+        // machine's present state; per-round lifecycle payloads converge
+        // it from there.
+        if resynced_from.is_none() {
+            if let Some(lc) = &self.workload {
+                self.envs[ra.0].apply_lifecycle(&lc.state()).expect(
+                    "invariant: set_workload validated the plan against this system's slices",
+                );
             }
         }
         let stream_seed = derive_stream_seed(master, DOMAIN_ORCH, ra.0 as u64);

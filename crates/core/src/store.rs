@@ -27,11 +27,19 @@ use serde::{Deserialize, Serialize};
 
 use crate::coordinator::CoordinatorState;
 use crate::orchestrator::{RoundRecord, SupervisionStats};
-use crate::{EdgeSliceError, PolicyCheckpoint, RaId};
+use crate::workload::LifecycleSnapshot;
+use crate::{EdgeSliceError, PolicyCheckpoint, RaId, SliceSpec};
 use edgeslice_netsim::ServiceQueue;
 
 /// The envelope format version this build reads and writes.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+///
+/// Version history:
+/// * 1 — static slice set only.
+/// * 2 — run snapshots record the admitted slice set explicitly plus the
+///   dynamic-workload lifecycle state (admission ledger, slot status,
+///   negotiated rates), so kill-and-resume stays byte-identical under
+///   slice churn.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// Envelope magic: **E**dge**S**lice **C**hec**K**point.
 const MAGIC: &[u8; 4] = b"ESCK";
@@ -55,6 +63,12 @@ pub struct WorkerSnapshot {
     /// the snapshot round, so a resumed worker takes the same rejoin path
     /// the live one would.
     pub was_down: bool,
+    /// Per-slot activity flags at the snapshot boundary (empty means "all
+    /// active", the static-workload default).
+    pub active: Vec<bool>,
+    /// Per-slot traffic-rate overrides installed by lifecycle events
+    /// (empty means "no overrides").
+    pub rates: Vec<Option<f64>>,
 }
 
 /// A complete, resumable picture of an interrupted `run`/`run_with_faults`
@@ -82,6 +96,50 @@ pub struct RunSnapshot {
     pub rounds: Vec<RoundRecord>,
     /// The supervision telemetry accumulated before the snapshot.
     pub supervision: SupervisionStats,
+    /// The slice slots (admitted set) this run was configured with,
+    /// recorded explicitly so a resume against a differently-shaped
+    /// system is a typed mismatch, not silent corruption.
+    pub slices: Vec<SliceSpec>,
+    /// The dynamic-workload state machine at the snapshot boundary
+    /// (`None` for static runs).
+    pub lifecycle: Option<LifecycleSnapshot>,
+}
+
+impl RunSnapshot {
+    /// Validates that this snapshot was taken from a run over exactly the
+    /// given slice slots. An empty recorded set (a pre-v2 payload migrated
+    /// forward, or a hand-built snapshot) is accepted for compatibility;
+    /// a non-empty set must match slot-for-slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EdgeSliceError::SnapshotMismatch`] naming the first
+    /// differing slot (or the count difference).
+    pub fn validate_slices(&self, expected: &[SliceSpec]) -> Result<(), EdgeSliceError> {
+        if self.slices.is_empty() {
+            return Ok(());
+        }
+        if self.slices.len() != expected.len() {
+            return Err(EdgeSliceError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot records {} slice slots, system has {}",
+                    self.slices.len(),
+                    expected.len()
+                ),
+            });
+        }
+        for (stored, live) in self.slices.iter().zip(expected) {
+            if stored != live {
+                return Err(EdgeSliceError::SnapshotMismatch {
+                    reason: format!(
+                        "slice slot {} differs between snapshot and system",
+                        stored.id.0
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// One RA's completed offline-training outcome, written after the RA's
@@ -397,6 +455,8 @@ mod tests {
                 }],
                 dual_clamp: 50.0,
                 staleness_budget: 3,
+                active: vec![true],
+                umins: vec![-50.0],
             },
             workers: vec![WorkerSnapshot {
                 ra: RaId(0),
@@ -404,11 +464,15 @@ mod tests {
                 coordination: vec![0.5],
                 global_t: 7,
                 was_down: false,
+                active: vec![true],
+                rates: vec![None],
             }],
             policies: vec![None],
             panic_counts: vec![0],
             rounds: Vec::new(),
             supervision: SupervisionStats::default(),
+            slices: vec![SliceSpec::experiment_slice1()],
+            lifecycle: None,
         }
     }
 
@@ -494,6 +558,43 @@ mod tests {
         let latest = store.latest_run().unwrap();
         assert!(latest.snapshot.is_none());
         assert_eq!(latest.rejected.len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_records_slice_set_and_rejects_mismatched_counts() {
+        let dir = tmp_dir("slices");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let snap = snapshot(3);
+        let path = store.save_run(&snap).unwrap();
+        let back = store.load_run(&path).unwrap();
+
+        // The admitted slice set is recorded explicitly and round-trips.
+        let expected = vec![SliceSpec::experiment_slice1()];
+        assert_eq!(back.slices, expected);
+        assert!(back.validate_slices(&expected).is_ok());
+
+        // A system with a different slot count must be a typed mismatch...
+        let two = vec![
+            SliceSpec::experiment_slice1(),
+            SliceSpec::experiment_slice2(),
+        ];
+        assert!(matches!(
+            back.validate_slices(&two),
+            Err(EdgeSliceError::SnapshotMismatch { .. })
+        ));
+        // ...and so must the same count with a different contract.
+        let mut respec = expected.clone();
+        respec[0].sla = crate::Sla::new(-10.0);
+        assert!(matches!(
+            back.validate_slices(&respec),
+            Err(EdgeSliceError::SnapshotMismatch { .. })
+        ));
+
+        // A pre-v2-style snapshot (no recorded slices) is accepted.
+        let mut legacy = snap.clone();
+        legacy.slices = Vec::new();
+        assert!(legacy.validate_slices(&two).is_ok());
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -71,6 +71,27 @@ fn determinism_is_scoped_to_its_crates() {
 }
 
 #[test]
+fn determinism_covers_the_core_workload_module() {
+    // The dynamic-workload generator (DESIGN.md §13) must be a pure
+    // function of its seed: `core` is inside the determinism scope, so
+    // the banned constructs fire when they appear under the workload
+    // module's path exactly as they do in `runtime`.
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/determinism_bad.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture readable");
+    let spec = FileSpec {
+        path,
+        rel_path: "crates/core/src/workload.rs".into(),
+        crate_name: "core".into(),
+        is_crate_root: false,
+    };
+    let (diags, _) = analyze_source(&spec, &source);
+    assert_all_rule(&diags, "determinism", 4);
+    for d in &diags {
+        assert_eq!(d.file, "crates/core/src/workload.rs");
+    }
+}
+
+#[test]
 fn panic_policy_bad_fires_per_construct() {
     let (diags, _) = analyze_fixture("panic_policy_bad.rs", "core", false);
     assert_all_rule(&diags, "panic-policy", 5);

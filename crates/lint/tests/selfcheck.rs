@@ -40,6 +40,21 @@ fn workspace_has_zero_unsuppressed_findings() {
 }
 
 #[test]
+fn workspace_walk_covers_the_workload_module() {
+    // The dynamic-workload generator rides the determinism rule (it must
+    // be a pure function of its seed): prove the walk actually schedules
+    // it under the `core` crate identity the scoping keys on.
+    let root = workspace_root();
+    let specs = workspace_files(&root).expect("workspace sources enumerable");
+    assert!(
+        specs
+            .iter()
+            .any(|s| s.rel_path == "crates/core/src/workload.rs" && s.crate_name == "core"),
+        "crates/core/src/workload.rs missing from the workspace walk"
+    );
+}
+
+#[test]
 fn binary_exits_zero_on_the_workspace() {
     let out = Command::new(env!("CARGO_BIN_EXE_edgeslice-lint"))
         .args(["--workspace", "--format", "json"])

@@ -98,6 +98,17 @@ pub trait RoundCoordinator {
     /// The per-RA `z − y` payloads for `round` (indexed by RA).
     fn broadcast(&mut self, round: usize) -> Vec<Vec<f64>>;
 
+    /// The encoded slice-lifecycle state accompanying round `round`'s
+    /// broadcast, shared by every RA (carried opaquely in
+    /// [`CoordInfo::lifecycle`]). Called exactly once per round, after
+    /// [`broadcast`](Self::broadcast). Coordinators running a dynamic
+    /// workload encode the *absolute* lifecycle state (not an incremental
+    /// delta) so workers that missed rounds self-heal on the next
+    /// broadcast. The default — a static slice set — sends nothing.
+    fn lifecycle_delta(&mut self, _round: usize) -> Vec<u8> {
+        Vec::new()
+    }
+
     /// Folds this round's reports, indexed by RA. `None` means the RA
     /// produced no report — the reason (worker down, missed deadline,
     /// dead channel) is in `telemetry`. Returns `true` to stop the run
@@ -267,6 +278,7 @@ impl Engine {
         let mut report = EngineReport::default();
         for round in first_round..end_round {
             let zys = coord.broadcast(round);
+            let lifecycle = coord.lifecycle_delta(round);
             let mut telemetry = RoundTelemetry::default();
             let reports = workers
                 .iter_mut()
@@ -276,6 +288,7 @@ impl Engine {
                         round,
                         ra: j,
                         zy: zys[j].clone(),
+                        lifecycle: lifecycle.clone(),
                     };
                     match supervisor.guard(j, w, &info) {
                         Ok(rep) => Some(rep),
@@ -335,6 +348,7 @@ impl Engine {
             let mut report = EngineReport::default();
             for round in first_round..end_round {
                 let zys = coord.broadcast(round);
+                let lifecycle = coord.lifecycle_delta(round);
                 for (ci, cmd_tx) in cmd_txs.iter().enumerate() {
                     let lo = ci * chunk_size;
                     let hi = (lo + chunk_size).min(n);
@@ -343,6 +357,7 @@ impl Engine {
                             round,
                             ra: j,
                             zy: zys[j].clone(),
+                            lifecycle: lifecycle.clone(),
                         })
                         .collect();
                     // A dead thread surfaces as a disconnect below.

@@ -25,7 +25,10 @@ use crate::msg::{Control, CoordInfo};
 /// Version carried in the `Hello`/`HelloAck` handshake. Peers with
 /// different versions refuse to talk (typed
 /// [`crate::TransportError::VersionMismatch`]), never mis-parse.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v2 added the slice-lifecycle byte sequence to the `Round`
+/// frame (dynamic workloads).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Upper bound on a frame payload (1 MiB). A length prefix beyond this is
 /// rejected as [`FrameError::Oversized`] before allocating.
@@ -228,6 +231,7 @@ pub fn encode(msg: &WireMsg) -> Result<Vec<u8>, FrameError> {
             put_u64(&mut p, info.round as u64);
             put_u64(&mut p, info.ra as u64);
             put_f64_seq(&mut p, &info.zy)?;
+            put_bytes(&mut p, &info.lifecycle)?;
             TAG_ROUND
         }
         WireMsg::Report {
@@ -357,7 +361,13 @@ pub fn decode(buf: &[u8]) -> Result<(WireMsg, usize), FrameError> {
             let round = r.index()?;
             let ra = r.index()?;
             let zy = r.f64_seq()?;
-            WireMsg::Round(CoordInfo { round, ra, zy })
+            let lifecycle = r.bytes()?.to_vec();
+            WireMsg::Round(CoordInfo {
+                round,
+                ra,
+                zy,
+                lifecycle,
+            })
         }
         TAG_REPORT => {
             let ra = r.u64()?;
@@ -556,6 +566,13 @@ mod tests {
                 round: 12,
                 ra: 1,
                 zy: vec![0.25, -1.5, f64::MIN_POSITIVE, 0.1 + 0.2],
+                lifecycle: vec![7, 0, 255, 1],
+            }),
+            WireMsg::Round(CoordInfo {
+                round: 13,
+                ra: 0,
+                zy: vec![],
+                lifecycle: vec![],
             }),
             WireMsg::Report {
                 ra: 2,
@@ -597,6 +614,7 @@ mod tests {
                 round: 0,
                 ra: 0,
                 zy: vec![x],
+                lifecycle: Vec::new(),
             });
             let (decoded, _) = decode(&encode(&msg).unwrap()).unwrap();
             let WireMsg::Round(info) = decoded else {

@@ -5,7 +5,8 @@
 
 /// Downstream, coordinator → worker: the coordinating information for one
 /// RA in one round — the per-slice `z_{i,j} − y_{i,j}` signal that is the
-/// *only* payload EdgeSlice's coordinator ever sends an agent.
+/// *only* payload EdgeSlice's coordinator ever sends an agent, plus an
+/// opaque slice-lifecycle payload for dynamic-workload runs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CoordInfo {
     /// Engine-local round index (0-based within this run).
@@ -14,6 +15,10 @@ pub struct CoordInfo {
     pub ra: usize,
     /// `z − y`, one entry per slice.
     pub zy: Vec<f64>,
+    /// Encoded slice-lifecycle state for this round (see
+    /// [`crate::RoundCoordinator::lifecycle_delta`]). Empty for static
+    /// workloads; the engine never interprets the bytes.
+    pub lifecycle: Vec<u8>,
 }
 
 /// Upstream, worker → coordinator: one RA's round outcome.

@@ -273,7 +273,7 @@ impl<T: Transport> NetCoordinator<T> {
     /// Broadcasts round `round` to every connected link. Send failures
     /// break the link (and count), but the lease — not the broken pipe —
     /// decides when the worker is down.
-    fn send_round(&mut self, round: usize, zys: &[Vec<f64>]) {
+    fn send_round(&mut self, round: usize, zys: &[Vec<f64>], lifecycle: &[u8]) {
         for ra in 0..self.links.len() {
             let zy = zys.get(ra).cloned().unwrap_or_default();
             let Some(link) = self.links.get_mut(ra).and_then(Option::as_mut) else {
@@ -282,7 +282,12 @@ impl<T: Transport> NetCoordinator<T> {
             if link.broken {
                 continue;
             }
-            let msg = WireMsg::Round(CoordInfo { round, ra, zy });
+            let msg = WireMsg::Round(CoordInfo {
+                round,
+                ra,
+                zy,
+                lifecycle: lifecycle.to_vec(),
+            });
             if link.t.send(&msg).is_err() {
                 link.broken = true;
                 self.stats.links_broken += 1;
@@ -469,10 +474,11 @@ impl<T: Transport> NetCoordinator<T> {
         &mut self,
         round: usize,
         zys: &[Vec<f64>],
+        lifecycle: &[u8],
     ) -> (Vec<Option<RaReport<Vec<u8>>>>, RoundTelemetry) {
         let n = self.links.len();
         self.pump_joins();
-        self.send_round(round, zys);
+        self.send_round(round, zys, lifecycle);
         let mut g = GatherState {
             slots: (0..n).map(|_| None).collect(),
             down_marked: vec![false; n],
@@ -773,7 +779,7 @@ mod tests {
         net.wait_registered(0).expect("registered");
         for round in 0..4 {
             let zys: Vec<Vec<f64>> = (0..2).map(|j| vec![round as f64, j as f64]).collect();
-            let (slots, telemetry) = net.run_round(round, &zys);
+            let (slots, telemetry) = net.run_round(round, &zys, &[]);
             assert!(telemetry.downs.is_empty(), "round {round}: {telemetry:?}");
             assert!(!telemetry.deadline_expired);
             for (ra, slot) in slots.iter().enumerate() {
@@ -808,7 +814,7 @@ mod tests {
         let mut lease_downs = Vec::new();
         for round in 0..5 {
             let zys: Vec<Vec<f64>> = (0..2).map(|_| vec![0.0]).collect();
-            let (slots, telemetry) = net.run_round(round, &zys);
+            let (slots, telemetry) = net.run_round(round, &zys, &[]);
             for d in &telemetry.downs {
                 if matches!(d.cause, DownCause::LeaseExpired { .. }) {
                     lease_downs.push((d.ra, d.round));
@@ -867,7 +873,7 @@ mod tests {
         let mut downs = Vec::new();
         for round in 0..4 {
             let zys: Vec<Vec<f64>> = (0..2).map(|_| vec![0.0]).collect();
-            let (_slots, telemetry) = net.run_round(round, &zys);
+            let (_slots, telemetry) = net.run_round(round, &zys, &[]);
             downs.extend(telemetry.downs);
         }
         net.shutdown();
@@ -918,11 +924,11 @@ mod tests {
         net.adopt(coord0).expect("adopt");
         net.wait_registered(0).expect("registered");
         let zys = vec![vec![0.0]];
-        let (_s, t0) = net.run_round(0, &zys);
+        let (_s, t0) = net.run_round(0, &zys, &[]);
         assert!(t0.downs.is_empty());
         h0.join().expect("join 0");
         // Round 1: the peer is gone; its lease (deadline 0) expires.
-        let (_s, t1) = net.run_round(1, &zys);
+        let (_s, t1) = net.run_round(1, &zys, &[]);
         assert!(t1
             .downs
             .iter()
@@ -956,10 +962,10 @@ mod tests {
             }
         });
         join_tx.send(coord_new).expect("inject rejoiner");
-        let (slots, _t2) = net.run_round(2, &zys);
+        let (slots, _t2) = net.run_round(2, &zys, &[]);
         // The rejoiner registered during round 2's gather; it serves
         // from round 3 on.
-        let (slots3, t3) = net.run_round(3, &zys);
+        let (slots3, t3) = net.run_round(3, &zys, &[]);
         assert!(t3.downs.is_empty(), "rejoined: no more lease downs: {t3:?}");
         assert!(slots3.first().is_some_and(Option::is_some));
         drop(slots);

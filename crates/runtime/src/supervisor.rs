@@ -270,6 +270,7 @@ mod tests {
             round,
             ra: 0,
             zy: vec![],
+            lifecycle: vec![],
         }
     }
 

@@ -1,0 +1,253 @@
+//! Churn acceptance: a seeded Poisson arrival model drives online
+//! admit/resize/teardown through the ADMM coordinator mid-run.
+//!
+//! The contract under test, end to end:
+//!
+//! * a dynamic-workload run — slices arriving, resizing, and departing
+//!   while the orchestration loop is live — completes with byte-identical
+//!   `RunReport` JSON across `Scheduler::Sequential` and
+//!   `Scheduler::Threaded(4)` (lifecycle deltas ride the round broadcast,
+//!   so worker topology cannot skew them);
+//! * a run killed mid-churn and resumed from the newest durable snapshot
+//!   reproduces the uninterrupted run byte for byte — the snapshot
+//!   round-trips the dynamic slice set, the admission ledger, and every
+//!   pending event;
+//! * the acceptance workload really exercises the lifecycle: at least
+//!   three admissions, at least one capacity rejection, and at least one
+//!   mid-run departure, all visible in `RunReport::slice_lifetimes`.
+
+use std::time::Duration;
+
+use edgeslice::{
+    AdmissionController, AgentConfig, EdgeSliceSystem, FaultInjector, OrchestratorKind, RunReport,
+    Scheduler, Sla, SliceRequest, SupervisorConfig, SystemConfig, WorkloadConfig, WorkloadPlan,
+};
+use edgeslice_netsim::AppProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ROUNDS: usize = 16;
+const N_RAS: usize = 2;
+/// Workload-stream seed chosen (deterministically, once) so the prototype
+/// Poisson model yields >=3 admits, >=1 reject, and >=1 mid-run
+/// departure inside `ROUNDS` — see `churn_stats_meet_the_acceptance_bar`.
+const WORKLOAD_SEED: u64 = 17;
+
+fn churn_plan() -> WorkloadPlan {
+    let initial = vec![
+        SliceRequest {
+            app: AppProfile::traffic_heavy(),
+            expected_rate: 10.0,
+            sla: Sla::paper(),
+        },
+        SliceRequest {
+            app: AppProfile::compute_heavy(),
+            expected_rate: 10.0,
+            sla: Sla::paper(),
+        },
+    ];
+    WorkloadPlan::generate(initial, &WorkloadConfig::prototype(WORKLOAD_SEED, ROUNDS))
+        .expect("prototype churn config is valid")
+}
+
+/// A TARO system sized for the plan's full slot capacity with the
+/// workload machine attached.
+fn churn_system(rng: &mut StdRng) -> EdgeSliceSystem {
+    let plan = churn_plan();
+    let config = SystemConfig {
+        slices: plan.slot_specs(),
+        ..SystemConfig::prototype()
+    };
+    let mut sys =
+        EdgeSliceSystem::new(config, OrchestratorKind::Taro, &AgentConfig::default(), rng);
+    sys.set_supervision(SupervisorConfig {
+        max_restarts: 3,
+        backoff_base: Duration::ZERO,
+        backoff_max: Duration::ZERO,
+    });
+    sys.set_workload(plan, AdmissionController::prototype())
+        .expect("plan slots match the system's slices");
+    sys
+}
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("edgeslice-churn-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn lifecycle_stats(report: &RunReport) -> (usize, usize, usize) {
+    let admits = report
+        .slice_lifetimes
+        .iter()
+        .filter(|l| l.admit_round.is_some())
+        .count();
+    let rejects = report
+        .slice_lifetimes
+        .iter()
+        .filter(|l| l.reject.is_some())
+        .count();
+    let departs = report
+        .slice_lifetimes
+        .iter()
+        .filter(|l| l.depart_round.is_some_and(|d| d < ROUNDS))
+        .count();
+    (admits, rejects, departs)
+}
+
+/// Tentpole: the acceptance workload (seeded Poisson churn) produces
+/// byte-identical reports under sequential and 4-way-threaded execution,
+/// and its lifetime rows show real admissions, a capacity rejection, and
+/// a mid-run teardown.
+#[test]
+fn churn_run_is_byte_identical_across_schedulers() {
+    let mut reports = Vec::new();
+    for scheduler in [Scheduler::Sequential, Scheduler::Threaded(4)] {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut sys = churn_system(&mut rng);
+        sys.set_scheduler(scheduler);
+        let report = sys.run(ROUNDS, &mut rng);
+        assert_eq!(report.rounds.len(), ROUNDS, "churn must not abort the run");
+        reports.push(report);
+    }
+    assert_eq!(
+        reports[0].to_json().unwrap(),
+        reports[1].to_json().unwrap(),
+        "sequential and threaded churn runs must be bit-identical"
+    );
+
+    let (admits, rejects, departs) = lifecycle_stats(&reports[0]);
+    assert!(admits >= 3, "want >=3 admissions, got {admits}");
+    assert!(rejects >= 1, "want >=1 capacity rejection, got {rejects}");
+    assert!(departs >= 1, "want >=1 mid-run departure, got {departs}");
+
+    // Structural sanity on the lifetime rows: one per slot, slot order.
+    let report = &reports[0];
+    for (i, l) in report.slice_lifetimes.iter().enumerate() {
+        assert_eq!(l.slice.0, i);
+        if let (Some(a), Some(d)) = (l.admit_round, l.depart_round) {
+            assert!(a <= d, "slot {i}: departed before admission");
+        }
+        assert!(
+            !(l.reject.is_some() && l.admit_round.is_some()),
+            "slot {i}: both rejected and admitted"
+        );
+    }
+    // Per-round invariants hold throughout the churn.
+    for r in &report.rounds {
+        assert!(r.system_performance.is_finite());
+        assert_eq!(r.sla_met.len(), report.slice_lifetimes.len());
+    }
+}
+
+/// Tentpole: kill-and-resume under churn. A run interrupted after round 5
+/// (newest durable snapshot: round 4 — mid-churn, with arrivals behind it
+/// and departures ahead of it) and resumed in a fresh process produces a
+/// report byte-identical to the run nobody interrupted.
+#[test]
+fn resumed_churn_run_is_byte_identical_to_uninterrupted() {
+    let dir = tmp_dir("resume");
+    let injector = FaultInjector::none(N_RAS, ROUNDS);
+
+    // Reference: the run nobody interrupted.
+    let mut rng = StdRng::seed_from_u64(53);
+    let mut reference = churn_system(&mut rng);
+    let expected = reference.run_with_faults(ROUNDS, &mut rng, &injector);
+    let (admits, rejects, departs) = lifecycle_stats(&expected);
+    assert!(
+        admits >= 3 && rejects >= 1 && departs >= 1,
+        "resume scenario must itself be churny: {admits} admits, {rejects} rejects, {departs} departs"
+    );
+
+    // Victim: same seeds, checkpointing every 2 rounds, killed after 5.
+    let mut rng = StdRng::seed_from_u64(53);
+    let mut victim = churn_system(&mut rng);
+    victim.set_checkpointing(&dir, 2).unwrap();
+    let partial = victim.run_with_faults(5, &mut rng, &injector);
+    assert_eq!(partial.rounds.len(), 5);
+    drop(victim);
+
+    // Resume: a fresh process re-creates the system (same construction
+    // seed, same plan) and picks up from the newest snapshot.
+    let mut rng = StdRng::seed_from_u64(53);
+    let mut resumed = churn_system(&mut rng);
+    let report = resumed.resume(&dir, ROUNDS, &mut rng, &injector).unwrap();
+    assert_eq!(
+        report.to_json().unwrap(),
+        expected.to_json().unwrap(),
+        "resumed churn run must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A static system refuses to resume from a churn snapshot (and the
+/// mismatch is a typed error, not silent divergence): the snapshot
+/// records the dynamic slice set explicitly.
+#[test]
+fn static_system_rejects_churn_snapshot() {
+    let dir = tmp_dir("mismatch");
+    let injector = FaultInjector::none(N_RAS, ROUNDS);
+
+    let mut rng = StdRng::seed_from_u64(57);
+    let mut victim = churn_system(&mut rng);
+    victim.set_checkpointing(&dir, 2).unwrap();
+    let _ = victim.run_with_faults(5, &mut rng, &injector);
+    drop(victim);
+
+    // A prototype (2-slice, no workload) system must not accept the
+    // churn snapshot's larger recorded slice set.
+    let mut rng = StdRng::seed_from_u64(57);
+    let mut wrong = EdgeSliceSystem::new(
+        SystemConfig::prototype(),
+        OrchestratorKind::Taro,
+        &AgentConfig::default(),
+        &mut rng,
+    );
+    let err = wrong.resume(&dir, ROUNDS, &mut rng, &injector).unwrap_err();
+    assert!(
+        matches!(err, edgeslice::EdgeSliceError::SnapshotMismatch { .. }),
+        "want SnapshotMismatch, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seed scan helper (ignored): prints lifecycle stats for candidate
+/// workload seeds so `WORKLOAD_SEED` can be re-tuned if the prototype
+/// workload config changes. Run with
+/// `cargo test --test churn -- --ignored --nocapture seed_scan`.
+#[test]
+#[ignore]
+fn seed_scan() {
+    for seed in 0..32 {
+        let initial = vec![
+            SliceRequest {
+                app: AppProfile::traffic_heavy(),
+                expected_rate: 10.0,
+                sla: Sla::paper(),
+            },
+            SliceRequest {
+                app: AppProfile::compute_heavy(),
+                expected_rate: 10.0,
+                sla: Sla::paper(),
+            },
+        ];
+        let plan =
+            WorkloadPlan::generate(initial, &WorkloadConfig::prototype(seed, ROUNDS)).unwrap();
+        let config = SystemConfig {
+            slices: plan.slot_specs(),
+            ..SystemConfig::prototype()
+        };
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut sys = EdgeSliceSystem::new(
+            config,
+            OrchestratorKind::Taro,
+            &AgentConfig::default(),
+            &mut rng,
+        );
+        sys.set_workload(plan, AdmissionController::prototype())
+            .unwrap();
+        let report = sys.run(ROUNDS, &mut rng);
+        let (admits, rejects, departs) = lifecycle_stats(&report);
+        println!("seed {seed:>2}: admits {admits} rejects {rejects} departs {departs}");
+    }
+}
