@@ -2,11 +2,17 @@
 //! that a top-level numeric field clears a minimum.
 //!
 //! Usage: `jsoncheck <path> [<field> [<min>]]`
+//!    or: `jsoncheck --train-perf <path> [<min-kernel-speedup>]`
 //!
 //! - With just `<path>`: the file must be valid JSON.
 //! - With `<field>`: the document must be an object with that top-level
 //!   field, and the field must be a finite number.
 //! - With `<min>`: additionally `field >= min` (default 1.0).
+//! - With `--train-perf`: the document must match the `trainperf` schema —
+//!   `host_parallelism` / `tile_k` / `tile_n` / `threads` present and ≥ 1,
+//!   `params_bit_identical` true, and **every** row of `kernels[]` showing
+//!   `speedup >= <min-kernel-speedup>` (default 1.0). This gates the
+//!   committed `results/BENCH_train.json` without re-timing in CI.
 //!
 //! Exits non-zero (via panic) on any violation, which is exactly what a CI
 //! step wants.
@@ -22,11 +28,73 @@ fn numeric(v: &Value) -> Option<f64> {
     }
 }
 
+/// A required top-level numeric field; panics with a field-specific
+/// message when it is missing, non-numeric, or not finite.
+fn require_numeric(path: &str, doc: &Value, field: &str) -> f64 {
+    let v = doc
+        .get_field(field)
+        .unwrap_or_else(|| panic!("{path}: missing field {field:?}"));
+    let n = numeric(v).unwrap_or_else(|| panic!("{path}: field {field:?} is not numeric"));
+    assert!(n.is_finite(), "{path}: field {field:?} is not finite");
+    n
+}
+
+/// Validates the `trainperf` artifact schema (see module docs).
+fn check_train_perf(path: &str, doc: &Value, min_kernel_speedup: f64) {
+    for field in ["host_parallelism", "tile_k", "tile_n", "threads"] {
+        let n = require_numeric(path, doc, field);
+        assert!(n >= 1.0, "{path}: {field} = {n} must be >= 1");
+    }
+    let identical = doc
+        .get_field("params_bit_identical")
+        .unwrap_or_else(|| panic!("{path}: missing field \"params_bit_identical\""));
+    assert!(
+        matches!(identical, Value::Bool(true)),
+        "{path}: params_bit_identical must be true, got {identical:?}"
+    );
+    let end_to_end = require_numeric(path, doc, "speedup");
+
+    let kernels = doc
+        .get_field("kernels")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| panic!("{path}: missing or non-array field \"kernels\""));
+    assert!(!kernels.is_empty(), "{path}: kernels[] is empty");
+    for (i, row) in kernels.iter().enumerate() {
+        let name = match row.get_field("kernel") {
+            Some(Value::Str(s)) => s.clone(),
+            _ => panic!("{path}: kernels[{i}] has no string \"kernel\" field"),
+        };
+        for field in ["before_s", "after_s", "speedup"] {
+            let n = require_numeric(path, row, field);
+            assert!(
+                n > 0.0,
+                "{path}: kernels[{i}] ({name}): {field} = {n} must be positive"
+            );
+        }
+        let speedup = require_numeric(path, row, "speedup");
+        assert!(
+            speedup >= min_kernel_speedup,
+            "{path}: kernel {name:?} speedup {speedup:.4} is below the \
+             required minimum {min_kernel_speedup}"
+        );
+    }
+    println!(
+        "{path}: train-perf schema ok — {} kernel rows all >= x{min_kernel_speedup}, \
+         end-to-end x{end_to_end:.2}, params bit-identical",
+        kernels.len()
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let path = args
-        .next()
-        .expect("usage: jsoncheck <path> [<field> [<min>]]");
+    let first = args.next().expect(
+        "usage: jsoncheck <path> [<field> [<min>]] | jsoncheck --train-perf <path> [<min>]",
+    );
+    let (train_perf, path) = if first == "--train-perf" {
+        (true, args.next().expect("--train-perf takes a path"))
+    } else {
+        (false, first)
+    };
     let field = args.next();
     let min: f64 = args
         .next()
@@ -37,6 +105,17 @@ fn main() {
     let value = serde_json::parse_value(&text)
         .unwrap_or_else(|e| panic!("{path} is not valid JSON: {e:?}"));
     println!("{path}: parses");
+
+    if train_perf {
+        check_train_perf(
+            &path,
+            &value,
+            field.map_or(1.0, |m| {
+                m.parse().expect("<min-kernel-speedup> must be a number")
+            }),
+        );
+        return;
+    }
 
     if let Some(field) = field {
         let Value::Object(fields) = &value else {

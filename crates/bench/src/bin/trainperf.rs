@@ -2,14 +2,18 @@
 //! vs the preserved pre-fusion reference path, on the paper's 2×128
 //! networks with batch 64.
 //!
-//! Three layers are measured:
+//! Four layers are measured:
 //!
 //! 1. **GEMM microkernels** — `matmul_into` / `matmul_at_b_into` /
 //!    `matmul_a_bt_into` against the allocating `matmul` / `matmul_tn` /
 //!    `matmul_nt` they replace, on the shapes one DDPG update produces.
-//! 2. **End-to-end DDPG updates** — [`Ddpg::update`] (fused, scratch-arena)
+//!    Large-shape rows (1024-wide hidden, batch 512) exercise the
+//!    cache-blocked dispatch that the paper-scale 128-wide shapes skip.
+//! 2. **Batched cross-RA inference** — one [`Mlp::forward_fleet_scratch`]
+//!    over 64 stacked RA states vs 64 solo [`Mlp::forward_one`] calls.
+//! 3. **End-to-end DDPG updates** — [`Ddpg::update`] (fused, scratch-arena)
 //!    vs [`Ddpg::update_reference`] (pre-PR), in train-steps per second.
-//! 3. **Bit-identity** — after the timed runs the two agents' actor and
+//! 4. **Bit-identity** — after the timed runs the two agents' actor and
 //!    critic parameters must agree bit for bit, so the speedup is never
 //!    bought with a numerics change.
 //!
@@ -25,7 +29,7 @@
 
 use std::time::{Duration, Instant};
 
-use edgeslice_nn::Matrix;
+use edgeslice_nn::{Activation, FleetScratch, Matrix, Mlp, Parallelism, TILE_K, TILE_N};
 use edgeslice_rl::{Ddpg, DdpgConfig, Transition};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,6 +42,13 @@ const BATCH: usize = 64;
 /// Representative RA-environment dimensions.
 const STATE_DIM: usize = 12;
 const ACTION_DIM: usize = 6;
+/// Production-scale shapes: wide enough that every operand overflows L2,
+/// so the rows measure the cache-blocked dispatch, not register tiling.
+const HIDDEN_LARGE: usize = 1_024;
+const BATCH_LARGE: usize = 512;
+/// Fleet size for the batched cross-RA inference row (the paper's testbed
+/// tops out at tens of RAs; 64 is a full metro-scale deployment).
+const N_RA: usize = 64;
 
 struct Args {
     updates: usize,
@@ -181,6 +192,89 @@ fn bench_kernels(reps: usize, rng: &mut StdRng) -> Vec<KernelResult> {
     vec![forward, grad_w, grad_x, forward_h, grad_wh]
 }
 
+/// Large-shape rows: 1024-wide hidden layers at batch 512. Every operand
+/// is multiple megabytes, so the auto-dispatch in the `_into` kernels
+/// takes the L1/L2-blocked path with a packed B panel; the allocating
+/// reference kernels stream the full operands on every pass.
+fn bench_kernels_large(reps: usize, rng: &mut StdRng) -> Vec<KernelResult> {
+    let x = rand_matrix(rng, BATCH_LARGE, HIDDEN_LARGE); // hidden activations
+    let w = rand_matrix(rng, HIDDEN_LARGE, HIDDEN_LARGE); // hidden weights
+    let dz = rand_matrix(rng, BATCH_LARGE, HIDDEN_LARGE); // pre-act gradient
+    let mut out = Matrix::default();
+
+    let forward = KernelResult {
+        name: "matmul_a_bt (large fwd, blocked)",
+        shape: format!("{BATCH_LARGE}x{HIDDEN_LARGE} * ({HIDDEN_LARGE}x{HIDDEN_LARGE})T"),
+        before_s: time_reps(reps, || x.matmul_nt(&w)[(0, 0)]).0,
+        after_s: time_reps(reps, || {
+            x.matmul_a_bt_into(&w, &mut out);
+            out[(0, 0)]
+        })
+        .0,
+    };
+    let grad_w = KernelResult {
+        name: "matmul_at_b (large grad, blocked)",
+        shape: format!("({BATCH_LARGE}x{HIDDEN_LARGE})T * {BATCH_LARGE}x{HIDDEN_LARGE}"),
+        before_s: time_reps(reps, || dz.matmul_tn(&x)[(0, 0)]).0,
+        after_s: time_reps(reps, || {
+            dz.matmul_at_b_into(&x, &mut out);
+            out[(0, 0)]
+        })
+        .0,
+    };
+    let grad_x = KernelResult {
+        name: "matmul (large grad, blocked)",
+        shape: format!("{BATCH_LARGE}x{HIDDEN_LARGE} * {HIDDEN_LARGE}x{HIDDEN_LARGE}"),
+        before_s: time_reps(reps, || dz.matmul(&w)[(0, 0)]).0,
+        after_s: time_reps(reps, || {
+            dz.matmul_into(&w, &mut out);
+            out[(0, 0)]
+        })
+        .0,
+    };
+    vec![forward, grad_w, grad_x]
+}
+
+/// Batched cross-RA inference: one fused forward over `N_RA` stacked
+/// states vs `N_RA` solo single-row forwards through the same actor.
+/// The fused path is what [`PolicyFleet::decide_into`] runs per parameter
+/// group; solo forwards are what the pre-PR per-RA loop did.
+///
+/// [`PolicyFleet::decide_into`]: ../edgeslice/struct.PolicyFleet.html
+fn bench_fleet(reps: usize, par: Parallelism, rng: &mut StdRng) -> KernelResult {
+    let actor = Mlp::new(
+        &[STATE_DIM, HIDDEN, HIDDEN, ACTION_DIM],
+        Activation::LeakyRelu(0.01),
+        Activation::Tanh,
+        rng,
+    );
+    let states: Vec<Vec<f64>> = (0..N_RA)
+        .map(|_| (0..STATE_DIM).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .collect();
+    let mut scratch = FleetScratch::new();
+
+    KernelResult {
+        name: "fleet forward (64-RA batched)",
+        shape: format!("{N_RA}x{STATE_DIM} thru {STATE_DIM}-{HIDDEN}-{HIDDEN}-{ACTION_DIM}"),
+        before_s: time_reps(reps, || {
+            let mut sink = 0.0;
+            for s in &states {
+                sink += actor.forward_one(s)[0];
+            }
+            sink
+        })
+        .0,
+        after_s: time_reps(reps, || {
+            scratch.begin(N_RA, STATE_DIM);
+            for (i, s) in states.iter().enumerate() {
+                scratch.set_input_row(i, s);
+            }
+            actor.forward_fleet_scratch(&mut scratch, par)[(0, 0)]
+        })
+        .0,
+    }
+}
+
 fn bench_config() -> DdpgConfig {
     DdpgConfig {
         hidden: HIDDEN,
@@ -239,16 +333,29 @@ fn main() {
         args.updates, args.kernel_reps
     );
 
-    // ---- GEMM microkernels.
+    // ---- GEMM microkernels: paper-scale, production-scale, fleet.
     let mut rng = StdRng::seed_from_u64(1);
-    let kernels = bench_kernels(args.kernel_reps, &mut rng);
+    // Large shapes carry ~250x the arithmetic of the 128-wide rows, so a
+    // handful of reps already dominates timer noise.
+    let large_reps = (args.kernel_reps / 500).max(1);
+    let fleet_reps = (args.kernel_reps / 10).max(20);
+    // The fleet row uses every hardware thread the host offers; the GEMM
+    // rows stay single-threaded so they isolate kernel quality.
+    let threads = host;
+    let mut kernels = bench_kernels(args.kernel_reps, &mut rng);
+    kernels.extend(bench_kernels_large(large_reps, &mut rng));
+    kernels.push(bench_fleet(
+        fleet_reps,
+        Parallelism::Threaded(threads),
+        &mut rng,
+    ));
     println!(
-        "{:>28}  {:>22}  {:>10}  {:>10}  {:>8}",
+        "{:>34}  {:>26}  {:>10}  {:>10}  {:>8}",
         "kernel", "shape", "before (s)", "after (s)", "speedup"
     );
     for k in &kernels {
         println!(
-            "{:>28}  {:>22}  {:>10.4}  {:>10.4}  {:>7.2}x",
+            "{:>34}  {:>26}  {:>10.4}  {:>10.4}  {:>7.2}x",
             k.name,
             k.shape,
             k.before_s,
@@ -308,7 +415,7 @@ fn main() {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"train_throughput\",\n  \"config\": {{\"hidden\": {HIDDEN}, \"batch\": {BATCH}, \"state_dim\": {STATE_DIM}, \"action_dim\": {ACTION_DIM}, \"updates\": {}, \"kernel_reps\": {}}},\n  \"host_parallelism\": {host},\n  \"smoke\": {},\n  \"kernels\": [\n{}\n  ],\n  \"before\": {{\"path\": \"update_reference\", \"total_s\": {:.6}, \"steps_per_s\": {:.6}}},\n  \"after\": {{\"path\": \"update\", \"total_s\": {:.6}, \"steps_per_s\": {:.6}}},\n  \"speedup\": {:.6},\n  \"params_bit_identical\": {identical}\n}}\n",
+        "{{\n  \"bench\": \"train_throughput\",\n  \"config\": {{\"hidden\": {HIDDEN}, \"batch\": {BATCH}, \"state_dim\": {STATE_DIM}, \"action_dim\": {ACTION_DIM}, \"hidden_large\": {HIDDEN_LARGE}, \"batch_large\": {BATCH_LARGE}, \"n_ra\": {N_RA}, \"updates\": {}, \"kernel_reps\": {}}},\n  \"host_parallelism\": {host},\n  \"tile_k\": {TILE_K},\n  \"tile_n\": {TILE_N},\n  \"threads\": {threads},\n  \"smoke\": {},\n  \"kernels\": [\n{}\n  ],\n  \"before\": {{\"path\": \"update_reference\", \"total_s\": {:.6}, \"steps_per_s\": {:.6}}},\n  \"after\": {{\"path\": \"update\", \"total_s\": {:.6}, \"steps_per_s\": {:.6}}},\n  \"speedup\": {:.6},\n  \"params_bit_identical\": {identical}\n}}\n",
         args.updates,
         args.kernel_reps,
         args.smoke,

@@ -151,6 +151,38 @@ impl PolicyCheckpoint {
         }
     }
 
+    /// True when `other` holds the same decode rule, dimensions, and
+    /// bit-identical network parameters — i.e. the two policies produce
+    /// identical actions on every state, so a [`crate::PolicyFleet`] may
+    /// serve both from one fused batched forward.
+    pub fn policy_bit_identical(&self, other: &PolicyCheckpoint) -> bool {
+        self.decode == other.decode
+            && self.state_dim == other.state_dim
+            && self.action_dim == other.action_dim
+            && self.network == other.network
+    }
+
+    /// The stored policy network (fleet inference runs the batched forward
+    /// directly against it).
+    pub(crate) fn network(&self) -> &Mlp {
+        &self.network
+    }
+
+    /// Decodes one raw network-output row into `action` (cleared and
+    /// refilled in place; allocation-free once capacity has warmed up).
+    /// Element-for-element the same arithmetic as [`PolicyCheckpoint::decide`].
+    pub(crate) fn decode_row(&self, row: &[f64], action: &mut Vec<f64>) {
+        action.clear();
+        match self.decode {
+            Decode::Direct => action.extend(row.iter().map(|v| v.clamp(0.0, 1.0))),
+            Decode::SigmoidMeanHead => action.extend(
+                row[..self.action_dim]
+                    .iter()
+                    .map(|&v| edgeslice_nn::sigmoid(v)),
+            ),
+        }
+    }
+
     /// Serializes to JSON.
     ///
     /// # Errors

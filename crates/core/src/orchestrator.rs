@@ -615,6 +615,26 @@ impl EdgeSliceSystem {
             .clone()
     }
 
+    /// Snapshots every RA's current policy (restored checkpoint override
+    /// when present, live agent otherwise) into a [`crate::PolicyFleet`]
+    /// for batched cross-RA inference. After [`EdgeSliceSystem::train_shared`]
+    /// or [`EdgeSliceSystem::install_agents`] the parameters are
+    /// bit-identical across RAs, so the fleet collapses to one group and
+    /// one fused GEMM chain per decision round; per-RA actions stay
+    /// bit-identical to [`OrchestrationAgent::decide`].
+    pub fn policy_fleet(&self, par: edgeslice_nn::Parallelism) -> crate::PolicyFleet {
+        let policies = self
+            .agents
+            .iter()
+            .zip(&self.policy_overrides)
+            .map(|(agent, over)| match over {
+                Some(p) => p.clone(),
+                None => PolicyCheckpoint::from_agent(agent),
+            })
+            .collect();
+        crate::PolicyFleet::new(policies, par)
+    }
+
     /// A mutable handle to RA 0's environment (used to train an agent that
     /// will be installed elsewhere).
     ///

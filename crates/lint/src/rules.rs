@@ -134,7 +134,8 @@ pub fn registry() -> Vec<Rule> {
             name: HOT_PATH_ALLOC,
             severity: Severity::Error,
             description: "no Vec::new/vec!/to_vec/clone()/collect() inside the `*_into` / \
-                          `*_scratch` function families in nn/rl",
+                          `*_scratch` / `matmul_*` / `pack_*` / `accumulate_*` function \
+                          families in nn/rl",
             check: hot_path_alloc,
         },
         Rule {
@@ -368,13 +369,27 @@ fn next_is(toks: &[Tok], i: usize, text: &str) -> bool {
     toks.get(i + 1).is_some_and(|t| t.text == text)
 }
 
+/// True for function names in the hot-path families: the
+/// caller-provides-storage suffixes (`*_into`, `*_scratch`) plus the PR 9
+/// GEMM kernel-layer prefixes (`matmul_*`, `pack_*`, `accumulate_*`) —
+/// the blocked/parallel kernels and their panel-packing helpers, whose
+/// packed B panels live on the stack precisely so they never allocate.
+fn is_hot_path_fn_name(name: &str) -> bool {
+    name.ends_with("_into")
+        || name.ends_with("_scratch")
+        || name.starts_with("matmul_")
+        || name.starts_with("pack_")
+        || name.starts_with("accumulate_")
+}
+
 /// Rule 3 — hot-path allocation discipline. PR 4's zero-allocation
 /// training loop is proven by a counting allocator at test time; this is
 /// the static complement, so a stray allocation is caught at lint time
-/// even on paths the test didn't drive. Inside every function whose name
-/// ends in `_into` or `_scratch` (the caller-provides-storage families)
-/// in [`HOT_PATH_CRATES`], these are banned: `Vec::new`, `vec![..]`,
-/// `.to_vec()`, `.clone()`, `.collect(..)`.
+/// even on paths the test didn't drive. Inside every function in the
+/// [`is_hot_path_fn_name`] families (the caller-provides-storage
+/// `*_into`/`*_scratch` suffixes and the `matmul_*`/`pack_*`/`accumulate_*`
+/// kernel layer) in [`HOT_PATH_CRATES`], these are banned: `Vec::new`,
+/// `vec![..]`, `.to_vec()`, `.clone()`, `.collect(..)`.
 fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     if !HOT_PATH_CRATES.contains(&file.crate_name.as_str()) {
         return;
@@ -384,10 +399,9 @@ fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
     while i < toks.len() {
         let is_hot_fn = toks[i].kind == TokKind::Ident
             && toks[i].text == "fn"
-            && toks.get(i + 1).is_some_and(|n| {
-                n.kind == TokKind::Ident
-                    && (n.text.ends_with("_into") || n.text.ends_with("_scratch"))
-            })
+            && toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && is_hot_path_fn_name(&n.text))
             && !file.in_test(i);
         if !is_hot_fn {
             i += 1;
@@ -421,7 +435,8 @@ fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
                     t.line,
                     format!(
                         "{what} inside hot-path fn `{fn_name}`: the `*_into`/`*_scratch` \
-                         families must reuse caller-provided storage \
+                         and kernel (`matmul_*`/`pack_*`/`accumulate_*`) families must \
+                         reuse caller-provided storage \
                          (see the counting-allocator test in crates/rl/tests/zero_alloc.rs)"
                     ),
                 )

@@ -14,6 +14,23 @@ fn gather_scratch(src: &[f64], scratch: &mut [f64]) {
     }
 }
 
+fn matmul_rows_blocked(a: &[f64], out: &mut [f64]) {
+    // Kernel family: the packed panel lives on the stack.
+    let mut panel = [0.0f64; 64];
+    for (p, &x) in panel.iter_mut().zip(a) {
+        *p = x;
+    }
+    for (o, &p) in out.iter_mut().zip(&panel) {
+        *o = p;
+    }
+}
+
+fn accumulate_row_panel(acc: &mut [f64], terms: &[f64]) {
+    for (a, &t) in acc.iter_mut().zip(terms) {
+        *a += t * 0.5;
+    }
+}
+
 fn cold_path_may_allocate(n: usize) -> Vec<f64> {
     // Not in a banned family: allocation is fine here.
     let mut v = Vec::new();

@@ -110,11 +110,19 @@ fn panic_policy_clean_is_silent() {
 }
 
 #[test]
-fn hot_path_alloc_bad_fires_in_both_families() {
+fn hot_path_alloc_bad_fires_in_all_families() {
     let (diags, _) = analyze_fixture("hot_path_alloc_bad.rs", "nn", false);
-    assert_all_rule(&diags, "hot-path-alloc", 4);
+    assert_all_rule(&diags, "hot-path-alloc", 7);
     assert!(diags.iter().any(|d| d.message.contains("scaled_copy_into")));
     assert!(diags.iter().any(|d| d.message.contains("gather_scratch")));
+    // The PR 9 kernel families are covered too.
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("matmul_rows_blocked")));
+    assert!(diags.iter().any(|d| d.message.contains("pack_b_panel")));
+    assert!(diags
+        .iter()
+        .any(|d| d.message.contains("accumulate_row_panel")));
 }
 
 #[test]

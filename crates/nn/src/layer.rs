@@ -3,7 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Activation, Init, Matrix};
+use crate::{Activation, Init, Matrix, Parallelism};
 
 /// A dense layer computing `act(x Wᵀ + b)` over a batch of row-vector inputs.
 ///
@@ -165,6 +165,17 @@ impl Dense {
     /// the per-element accumulation order of [`Matrix::matmul_nt`].
     pub fn forward_into(&self, x: &Matrix, z: &mut Matrix, out: &mut Matrix) {
         x.matmul_a_bt_into(&self.weights, z);
+        z.add_row_broadcast(&self.bias);
+        self.activation.forward_into(z, out);
+    }
+
+    /// [`Dense::forward_into`] with the batch's rows split across up to the
+    /// requested number of worker threads ([`Matrix::matmul_a_bt_par_into`]).
+    /// Byte-identical to [`Dense::forward_into`] for any thread count: the
+    /// GEMM is row-split-invariant and the bias/activation steps are
+    /// element-wise.
+    pub fn forward_par_into(&self, x: &Matrix, z: &mut Matrix, out: &mut Matrix, par: Parallelism) {
+        x.matmul_a_bt_par_into(&self.weights, z, par);
         z.add_row_broadcast(&self.bias);
         self.activation.forward_into(z, out);
     }

@@ -43,10 +43,12 @@ mod layer;
 mod matrix;
 mod network;
 mod optimizer;
+mod par;
 
 pub use activation::{sigmoid, softplus, Activation};
 pub use init::Init;
 pub use layer::{Dense, DenseGrad};
-pub use matrix::Matrix;
-pub use network::{ForwardCache, Gradients, Mlp, TrainScratch};
+pub use matrix::{Matrix, TILE_K, TILE_N};
+pub use network::{FleetScratch, ForwardCache, Gradients, Mlp, TrainScratch};
 pub use optimizer::{mse_loss, mse_loss_into, Adam, Sgd};
+pub use par::Parallelism;

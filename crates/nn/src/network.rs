@@ -3,7 +3,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use crate::{Activation, Dense, DenseGrad, Init, Matrix};
+use crate::{Activation, Dense, DenseGrad, Init, Matrix, Parallelism};
 
 /// A feed-forward network of [`Dense`] layers.
 ///
@@ -105,6 +105,61 @@ impl TrainScratch {
     /// optimizer step).
     pub fn grads_mut(&mut self) -> &mut Gradients {
         &mut self.grads
+    }
+}
+
+/// A reusable scratch arena for batched multi-network inference
+/// ([`Mlp::forward_fleet_scratch`]).
+///
+/// Callers stage one input row per (agent, batch) pair — [`FleetScratch::begin`]
+/// shapes the stacked `(n_ra·batch) × in_dim` input, [`FleetScratch::set_input_row`]
+/// fills it — and the forward pass ping-pongs between two activation
+/// buffers. All buffers reshape in place, so steady-state fleet inference
+/// performs zero heap allocations.
+#[derive(Debug, Clone, Default)]
+pub struct FleetScratch {
+    /// Stacked input batch, one row per (agent, batch) pair.
+    x: Matrix,
+    /// Pre-activation buffer, reused across layers.
+    z: Matrix,
+    /// Activation ping buffer; holds the final output after a pass.
+    cur: Matrix,
+    /// Activation pong buffer.
+    next: Matrix,
+}
+
+impl FleetScratch {
+    /// A fresh, empty scratch. Buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reshapes the staged input batch to `rows × in_dim` in place. Row
+    /// contents are unspecified until [`FleetScratch::set_input_row`]
+    /// overwrites them.
+    pub fn begin(&mut self, rows: usize, in_dim: usize) {
+        self.x.resize_for(rows, in_dim);
+    }
+
+    /// Copies one input row into slot `i` of the staged batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds or `row.len() != in_dim`.
+    pub fn set_input_row(&mut self, i: usize, row: &[f64]) {
+        self.x.row_mut(i).copy_from_slice(row);
+    }
+
+    /// The staged input batch.
+    pub fn input(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// The stacked network output of the last
+    /// [`Mlp::forward_fleet_scratch`], row `i` corresponding to input row
+    /// `i`.
+    pub fn output(&self) -> &Matrix {
+        &self.cur
     }
 }
 
@@ -266,6 +321,40 @@ impl Mlp {
     pub fn forward_one(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.in_dim(), "input length mismatch");
         self.forward(&Matrix::row_vector(x)).into_vec()
+    }
+
+    /// Batched multi-network forward: one fused GEMM chain over the input
+    /// batch staged in `s` (one row per (agent, batch) pair), replacing N
+    /// per-agent [`Mlp::forward`] calls against shared-shape weights.
+    ///
+    /// Output row `i` is **bit-identical** to `forward` on input row `i`
+    /// alone: every GEMM output row is one accumulator over `k` ascending,
+    /// a pure function of that input row and the weights — stacking rows
+    /// (and splitting them across threads via `par`) never changes a
+    /// row's arithmetic. Returns the stacked output, also readable via
+    /// [`FleetScratch::output`]. Allocation-free at steady state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the staged input width differs from `in_dim`.
+    pub fn forward_fleet_scratch<'s>(
+        &self,
+        s: &'s mut FleetScratch,
+        par: Parallelism,
+    ) -> &'s Matrix {
+        assert_eq!(
+            s.x.cols(),
+            self.in_dim(),
+            "fleet input width mismatch: staged {} vs network {}",
+            s.x.cols(),
+            self.in_dim()
+        );
+        self.layers[0].forward_par_into(&s.x, &mut s.z, &mut s.cur, par);
+        for layer in &self.layers[1..] {
+            layer.forward_par_into(&s.cur, &mut s.z, &mut s.next, par);
+            std::mem::swap(&mut s.cur, &mut s.next);
+        }
+        &s.cur
     }
 
     /// Forward pass that records everything needed for [`Mlp::backward`].

@@ -1,0 +1,115 @@
+//! The nn crate's thread-pool seam: a row-split parallel section for the
+//! GEMM kernels.
+//!
+//! [`Parallelism`] mirrors the runtime crate's `Scheduler` (the nn crate
+//! sits below the runtime in the dependency graph, so it cannot reuse
+//! `par_map` directly): `Sequential` runs on the caller's thread,
+//! `Threaded(n)` splits output rows across up to `n` scoped worker
+//! threads. Because every GEMM kernel in this crate computes each output
+//! row as a pure function of that row's operands — the `k`-ascending
+//! per-output accumulation order never depends on which rows share a
+//! chunk — the split is *byte-identical* to the sequential schedule for
+//! any thread count. The runtime's equivalence suites pin exactly this
+//! property end to end.
+
+/// Worker-thread budget for the row-split parallel GEMM kernels.
+///
+/// The determinism contract: for any two values of `Parallelism` (and any
+/// thread count), the parallel kernels produce bit-identical results —
+/// the choice is purely a wall-clock knob, mirroring the runtime
+/// scheduler's `Threaded(n) == Sequential` guarantee.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Run entirely on the caller's thread.
+    Sequential,
+    /// Split output rows across up to this many scoped worker threads.
+    /// `Threaded(0)` and `Threaded(1)` degrade to [`Parallelism::Sequential`].
+    Threaded(usize),
+}
+
+impl Parallelism {
+    /// The effective worker count for `rows` output rows: never more
+    /// threads than rows, never zero.
+    pub fn threads_for(self, rows: usize) -> usize {
+        match self {
+            Parallelism::Sequential => 1,
+            Parallelism::Threaded(n) => n.clamp(1, rows.max(1)),
+        }
+    }
+}
+
+/// Runs `f(first_row, n_rows, rows_data)` over contiguous row chunks of
+/// `data` (`n_rows` rows of `row_len` values each), inline for one thread
+/// and across scoped threads otherwise.
+///
+/// Chunk boundaries never change what is computed for a row — callers pass
+/// an `f` whose per-row work depends only on the global operands and the
+/// row index — so the result is byte-identical for every thread count.
+pub(crate) fn run_row_chunks<F>(
+    par: Parallelism,
+    n_rows: usize,
+    row_len: usize,
+    data: &mut [f64],
+    f: F,
+) where
+    F: Fn(usize, usize, &mut [f64]) + Sync,
+{
+    let threads = par.threads_for(n_rows);
+    if threads <= 1 || n_rows == 0 || row_len == 0 {
+        f(0, n_rows, data);
+        return;
+    }
+    let chunk_rows = n_rows.div_ceil(threads);
+    std::thread::scope(|s| {
+        for (ci, chunk) in data.chunks_mut(chunk_rows * row_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(ci * chunk_rows, chunk.len() / row_len, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_for_clamps() {
+        assert_eq!(Parallelism::Sequential.threads_for(10), 1);
+        assert_eq!(Parallelism::Threaded(0).threads_for(10), 1);
+        assert_eq!(Parallelism::Threaded(4).threads_for(10), 4);
+        assert_eq!(Parallelism::Threaded(16).threads_for(3), 3);
+        assert_eq!(Parallelism::Threaded(4).threads_for(0), 1);
+    }
+
+    #[test]
+    fn row_chunks_cover_every_row_once() {
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threaded(2),
+            Parallelism::Threaded(3),
+            Parallelism::Threaded(7),
+        ] {
+            let mut data = vec![0.0; 5 * 3];
+            run_row_chunks(par, 5, 3, &mut data, |first, n, rows| {
+                for r in 0..n {
+                    for v in &mut rows[r * 3..(r + 1) * 3] {
+                        *v += (first + r) as f64 + 1.0;
+                    }
+                }
+            });
+            let expect: Vec<f64> = (0..5).flat_map(|i| [i as f64 + 1.0; 3]).collect();
+            assert_eq!(data, expect, "{par:?}");
+        }
+    }
+
+    #[test]
+    fn empty_shapes_are_inline_noops() {
+        let mut data: Vec<f64> = Vec::new();
+        run_row_chunks(Parallelism::Threaded(4), 0, 3, &mut data, |_, n, _| {
+            assert_eq!(n, 0);
+        });
+        run_row_chunks(Parallelism::Threaded(4), 3, 0, &mut data, |_, n, _| {
+            assert_eq!(n, 3);
+        });
+    }
+}

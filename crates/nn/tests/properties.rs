@@ -1,6 +1,6 @@
 //! Property-based tests for the linear-algebra core.
 
-use edgeslice_nn::{Activation, Matrix, Mlp};
+use edgeslice_nn::{Activation, Matrix, Mlp, Parallelism, TILE_K, TILE_N};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -144,6 +144,190 @@ proptest! {
         let net = Mlp::new(&[4, 8, 3], Activation::leaky_default(), Activation::Sigmoid, &mut rng);
         let out = net.forward_one(&input);
         prop_assert!(out.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}
+
+proptest! {
+    #[test]
+    fn blocked_matmul_bit_identical_on_random_shapes(
+        case in IntoKernelCase { kind: KernelKind::Plain },
+    ) {
+        let (a, b, mut out) = case;
+        let mut blocked = Matrix::zeros(1, 7);
+        a.matmul_into(&b, &mut out);
+        a.matmul_blocked_into(&b, &mut blocked);
+        prop_assert_eq!(&blocked, &out);
+    }
+
+    #[test]
+    fn blocked_at_b_bit_identical_on_random_shapes(
+        case in IntoKernelCase { kind: KernelKind::AtB },
+    ) {
+        let (a, b, mut out) = case;
+        let mut blocked = Matrix::zeros(1, 7);
+        a.matmul_at_b_into(&b, &mut out);
+        a.matmul_at_b_blocked_into(&b, &mut blocked);
+        prop_assert_eq!(&blocked, &out);
+    }
+
+    #[test]
+    fn blocked_a_bt_bit_identical_on_random_shapes(
+        case in IntoKernelCase { kind: KernelKind::ABt },
+    ) {
+        let (a, b, mut out) = case;
+        let mut blocked = Matrix::zeros(1, 7);
+        a.matmul_a_bt_into(&b, &mut out);
+        a.matmul_a_bt_blocked_into(&b, &mut blocked);
+        prop_assert_eq!(&blocked, &out);
+    }
+
+    #[test]
+    fn par_kernels_invariant_across_thread_counts_on_random_shapes(
+        plain in IntoKernelCase { kind: KernelKind::Plain },
+        at_b in IntoKernelCase { kind: KernelKind::AtB },
+        a_bt in IntoKernelCase { kind: KernelKind::ABt },
+    ) {
+        for par in [Parallelism::Sequential, Parallelism::Threaded(2), Parallelism::Threaded(4)] {
+            let (a, b, mut out) = (plain.0.clone(), plain.1.clone(), plain.2.clone());
+            let mut seq = Matrix::zeros(1, 7);
+            a.matmul_into(&b, &mut seq);
+            a.matmul_par_into(&b, &mut out, par);
+            prop_assert_eq!(&out, &seq, "matmul_par {:?}", par);
+
+            let (a, b, mut out) = (at_b.0.clone(), at_b.1.clone(), at_b.2.clone());
+            a.matmul_at_b_into(&b, &mut seq);
+            a.matmul_at_b_par_into(&b, &mut out, par);
+            prop_assert_eq!(&out, &seq, "at_b_par {:?}", par);
+
+            let (a, b, mut out) = (a_bt.0.clone(), a_bt.1.clone(), a_bt.2.clone());
+            a.matmul_a_bt_into(&b, &mut seq);
+            a.matmul_a_bt_par_into(&b, &mut out, par);
+            prop_assert_eq!(&out, &seq, "a_bt_par {:?}", par);
+        }
+    }
+}
+
+/// Shapes straddling the `TILE_K`/`TILE_N` boundaries, where the plain
+/// entry points auto-dispatch to the blocked schedule: exact tile
+/// multiples, one-past-the-tile, and ragged tails in both `k` and `n`.
+/// Pinned bitwise against the reference kernels, with thread counts
+/// 1/2/4 on top.
+#[test]
+fn blocked_dispatch_bit_identical_on_tile_crossing_shapes() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let shapes = [
+        (3, TILE_K + 2, TILE_N + 3),
+        (2, TILE_K, TILE_N),
+        (5, 2 * TILE_K + 1, TILE_N + 1),
+        (1, TILE_K + 77, 2 * TILE_N + 13),
+        (4, TILE_K + 1, TILE_N + 9),
+    ];
+    for &(m, k, n) in &shapes {
+        let a = rand_matrix(&mut rng, m, k);
+        let b = rand_matrix(&mut rng, k, n);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b), "matmul {m}x{k}x{n}");
+
+        let at = rand_matrix(&mut rng, k, m); // r=k terms, m outputs — needs n to cross tiles
+        let bt = rand_matrix(&mut rng, k, n);
+        at.matmul_at_b_into(&bt, &mut out);
+        assert_eq!(out, at.matmul_tn(&bt), "at_b {m}x{k}x{n}");
+
+        let ar = rand_matrix(&mut rng, m, k);
+        let br = rand_matrix(&mut rng, n, k);
+        ar.matmul_a_bt_into(&br, &mut out);
+        assert_eq!(out, ar.matmul_nt(&br), "a_bt {m}x{k}x{n}");
+
+        for par in [
+            Parallelism::Sequential,
+            Parallelism::Threaded(2),
+            Parallelism::Threaded(4),
+        ] {
+            let mut pout = Matrix::zeros(1, 1);
+            a.matmul_par_into(&b, &mut pout, par);
+            assert_eq!(pout, a.matmul(&b), "matmul_par {par:?} {m}x{k}x{n}");
+            at.matmul_at_b_par_into(&bt, &mut pout, par);
+            assert_eq!(pout, at.matmul_tn(&bt), "at_b_par {par:?} {m}x{k}x{n}");
+            ar.matmul_a_bt_par_into(&br, &mut pout, par);
+            assert_eq!(pout, ar.matmul_nt(&br), "a_bt_par {par:?} {m}x{k}x{n}");
+        }
+    }
+}
+
+/// The degenerate shapes through the forced-blocked and parallel entry
+/// points: 1×N, N×1, and empty-batch operands must match the reference
+/// kernels bitwise even though no tile is ever full.
+#[test]
+fn blocked_and_par_handle_degenerate_shapes() {
+    let row = Matrix::row_vector(&[1.0, -2.0, 3.0]); // 1×N
+    let col = Matrix::col_vector(&[0.5, 1.5, -0.5]); // N×1
+    let empty_batch = Matrix::zeros(0, 3); // 0-row batch
+    let mut out = Matrix::zeros(2, 2);
+
+    row.matmul_blocked_into(&col, &mut out);
+    assert_eq!(out, row.matmul(&col));
+    col.matmul_blocked_into(&row, &mut out);
+    assert_eq!(out, col.matmul(&row));
+    row.matmul_at_b_blocked_into(&row, &mut out);
+    assert_eq!(out, row.transpose().matmul(&row));
+    row.matmul_a_bt_blocked_into(&row, &mut out);
+    assert_eq!(out, row.matmul(&row.transpose()));
+    empty_batch.matmul_blocked_into(&col, &mut out);
+    assert_eq!(out.shape(), (0, 1));
+    empty_batch.matmul_at_b_blocked_into(&empty_batch, &mut out);
+    assert_eq!(out, empty_batch.transpose().matmul(&empty_batch));
+    empty_batch.matmul_a_bt_blocked_into(&empty_batch, &mut out);
+    assert_eq!(out.shape(), (0, 0));
+
+    for par in [Parallelism::Threaded(2), Parallelism::Threaded(4)] {
+        row.matmul_par_into(&col, &mut out, par);
+        assert_eq!(out, row.matmul(&col));
+        col.matmul_par_into(&row, &mut out, par);
+        assert_eq!(out, col.matmul(&row));
+        row.matmul_at_b_par_into(&row, &mut out, par);
+        assert_eq!(out, row.transpose().matmul(&row));
+        row.matmul_a_bt_par_into(&row, &mut out, par);
+        assert_eq!(out, row.matmul(&row.transpose()));
+        empty_batch.matmul_par_into(&col, &mut out, par);
+        assert_eq!(out.shape(), (0, 1));
+        empty_batch.matmul_at_b_par_into(&empty_batch, &mut out, par);
+        assert_eq!(out, empty_batch.transpose().matmul(&empty_batch));
+        empty_batch.matmul_a_bt_par_into(&empty_batch, &mut out, par);
+        assert_eq!(out.shape(), (0, 0));
+    }
+}
+
+/// Fleet (batched multi-network) forward: each stacked output row is
+/// bit-identical to a solo 1-row forward of the same input, for any
+/// thread count.
+#[test]
+fn fleet_forward_rows_bit_identical_to_solo_forwards() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    let net = Mlp::new(
+        &[6, 24, 24, 4],
+        Activation::leaky_default(),
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let inputs: Vec<Vec<f64>> = (0..17)
+        .map(|_| (0..6).map(|_| rng.gen_range(-3.0f64..3.0)).collect())
+        .collect();
+    for par in [
+        Parallelism::Sequential,
+        Parallelism::Threaded(2),
+        Parallelism::Threaded(4),
+    ] {
+        let mut scratch = edgeslice_nn::FleetScratch::new();
+        scratch.begin(inputs.len(), 6);
+        for (i, x) in inputs.iter().enumerate() {
+            scratch.set_input_row(i, x);
+        }
+        let out = net.forward_fleet_scratch(&mut scratch, par);
+        assert_eq!(out.shape(), (17, 4));
+        for (i, x) in inputs.iter().enumerate() {
+            assert_eq!(out.row(i), net.forward_one(x).as_slice(), "row {i} {par:?}");
+        }
     }
 }
 

@@ -7,7 +7,7 @@
 //! `g_t = r + γ Q'(s', μ'(s'))` (paper Eq. 16–17); the actor ascends
 //! `∇_θ J ≈ E[∇_a Q(s, a)|_{a=μ(s)} ∇_θ μ(s)]` (paper Eq. 18).
 
-use edgeslice_nn::{Adam, Matrix, Mlp, TrainScratch};
+use edgeslice_nn::{Adam, FleetScratch, Matrix, Mlp, Parallelism, TrainScratch};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -168,6 +168,18 @@ impl Ddpg {
     /// The greedy (noise-free) policy action for `state`.
     pub fn policy(&self, state: &[f64]) -> Vec<f64> {
         self.actor.forward_one(state)
+    }
+
+    /// Batched greedy policy: the actor's fused multi-row forward over the
+    /// input batch staged in `s` ([`Mlp::forward_fleet_scratch`]). Row `i`
+    /// of the returned matrix is bit-identical to [`Ddpg::policy`] on input
+    /// row `i`, for any `par`; allocation-free at steady state.
+    pub fn policy_batch_scratch<'s>(
+        &self,
+        s: &'s mut FleetScratch,
+        par: Parallelism,
+    ) -> &'s Matrix {
+        self.actor.forward_fleet_scratch(s, par)
     }
 
     /// Immutable access to the actor network (e.g. for checkpointing).

@@ -107,6 +107,82 @@ fn ddpg_update_is_allocation_free_at_steady_state() {
 }
 
 #[test]
+fn blocked_parallel_kernels_and_fleet_forward_are_allocation_free() {
+    use edgeslice_nn::{Activation, FleetScratch, Matrix, Mlp, Parallelism, TILE_K, TILE_N};
+
+    let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let mut rng = StdRng::seed_from_u64(13);
+
+    // Shapes past TILE_K/TILE_N so the plain entry points auto-dispatch to
+    // the cache-blocked schedule (the packed B panel lives on the stack).
+    let (m, k, n) = (8, TILE_K + 5, TILE_N + 3);
+    let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-1.0f64..1.0));
+    let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-1.0f64..1.0));
+    let at = Matrix::from_fn(k, m, |_, _| rng.gen_range(-1.0f64..1.0));
+    let br = Matrix::from_fn(n, k, |_, _| rng.gen_range(-1.0f64..1.0));
+    let mut out = Matrix::zeros(1, 1);
+
+    // Warm-up sizes the output buffer once per largest shape.
+    a.matmul_into(&b, &mut out);
+    at.matmul_at_b_into(&b, &mut out);
+    a.matmul_a_bt_into(&br, &mut out);
+
+    // `Threaded(1)` degrades to the inline path — the row-chunk seam itself
+    // must be free. (`Threaded(2+)` spawns scoped OS threads, whose control
+    // blocks allocate by construction; its byte-identity is pinned by the
+    // property suite instead.)
+    for par in [Parallelism::Sequential, Parallelism::Threaded(1)] {
+        let allocations = count_allocations(|| {
+            a.matmul_into(&b, &mut out);
+            a.matmul_blocked_into(&b, &mut out);
+            a.matmul_par_into(&b, &mut out, par);
+            at.matmul_at_b_into(&b, &mut out);
+            at.matmul_at_b_blocked_into(&b, &mut out);
+            at.matmul_at_b_par_into(&b, &mut out, par);
+            a.matmul_a_bt_into(&br, &mut out);
+            a.matmul_a_bt_blocked_into(&br, &mut out);
+            a.matmul_a_bt_par_into(&br, &mut out, par);
+        });
+        assert_eq!(
+            allocations, 0,
+            "steady-state blocked/parallel kernels ({par:?}) performed {allocations} heap allocations"
+        );
+    }
+
+    // Batched multi-network forward: stage once, then steady-state passes
+    // (restage + forward) must never touch the heap.
+    let net = Mlp::new(
+        &[12, 32, 32, 6],
+        Activation::leaky_default(),
+        Activation::Sigmoid,
+        &mut rng,
+    );
+    let inputs: Vec<Vec<f64>> = (0..64)
+        .map(|_| (0..12).map(|_| rng.gen_range(-1.0f64..1.0)).collect())
+        .collect();
+    let mut scratch = FleetScratch::new();
+    scratch.begin(inputs.len(), 12);
+    for (i, x) in inputs.iter().enumerate() {
+        scratch.set_input_row(i, x);
+    }
+    net.forward_fleet_scratch(&mut scratch, Parallelism::Sequential);
+    let allocations = count_allocations(|| {
+        for _ in 0..8 {
+            scratch.begin(inputs.len(), 12);
+            for (i, x) in inputs.iter().enumerate() {
+                scratch.set_input_row(i, x);
+            }
+            let out = net.forward_fleet_scratch(&mut scratch, Parallelism::Sequential);
+            assert_eq!(out.shape(), (64, 6));
+        }
+    });
+    assert_eq!(
+        allocations, 0,
+        "steady-state fleet forward performed {allocations} heap allocations"
+    );
+}
+
+#[test]
 fn rejected_update_during_warmup_is_also_allocation_free() {
     let _guard = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
     let config = DdpgConfig {
