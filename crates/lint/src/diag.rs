@@ -109,13 +109,16 @@ pub fn parse_suppressions(comments: &[Comment]) -> Vec<Suppression> {
     out
 }
 
-/// Whether `diag` is covered by one of `sups` (rule matches and either
-/// file-scoped, or the comment sits on the diagnostic's line or the line
-/// above it).
+/// Whether one suppression covers `diag`: the rule matches and the
+/// suppression is either file-scoped or sits on the diagnostic's line or
+/// the line above it.
+pub fn suppression_covers(s: &Suppression, diag: &Diagnostic) -> bool {
+    s.rule == diag.rule && (s.file_scoped || s.line == diag.line || s.line + 1 == diag.line)
+}
+
+/// Whether `diag` is covered by one of `sups`.
 pub fn is_suppressed(diag: &Diagnostic, sups: &[Suppression]) -> bool {
-    sups.iter().any(|s| {
-        s.rule == diag.rule && (s.file_scoped || s.line == diag.line || s.line + 1 == diag.line)
-    })
+    sups.iter().any(|s| suppression_covers(s, diag))
 }
 
 /// Escapes `s` for inclusion in a JSON string literal.

@@ -1,15 +1,31 @@
-//! Workspace discovery, per-file analysis, suppression filtering, and
-//! report assembly — the part of the analyzer the binary and the tests
-//! share.
+//! Workspace discovery and the three-phase analysis pipeline the binary
+//! and the tests share:
+//!
+//! 1. **Scan** — per file, embarrassingly parallel: read, lex, parse
+//!    suppressions, run the local rules, build the item-level parse.
+//! 2. **Graph** — sequential over the scan results: the cross-file
+//!    passes (`rng-stream-separation`, `frame-protocol`,
+//!    `transitive-alloc`) run on the workspace symbol table / call graph.
+//! 3. **Filter** — suppressions are applied to the combined finding set
+//!    while tracking which allows actually fired; a justified allow that
+//!    suppresses nothing is itself a `suppression-hygiene` error (stale
+//!    suppressions are drift, and drift is what this analyzer exists to
+//!    catch). Diagnostics leave in stable `(file, line, rule, message)`
+//!    order.
 
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::diag::{is_suppressed, json_escape, parse_suppressions, Diagnostic, Severity};
+use crate::diag::{
+    json_escape, parse_suppressions, suppression_covers, Diagnostic, Severity, Suppression,
+};
+use crate::graph::{frame_protocol, rng_stream_separation, transitive_alloc, Unit};
 use crate::lexer::lex;
-use crate::rules::{registry, SourceFile, SUPPRESSION_HYGIENE};
+use crate::parse::{parse, ParsedFile};
+use crate::rules::{cross_registry, registry, SourceFile, SUPPRESSION_HYGIENE};
 
 /// A fatal analyzer error (not a lint finding): bad workspace root,
 /// unreadable file.
@@ -38,7 +54,7 @@ impl std::error::Error for LintError {}
 /// The analysis result over a set of files.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Unsuppressed findings, in file order.
+    /// Unsuppressed findings, in `(file, line, rule, message)` order.
     pub diagnostics: Vec<Diagnostic>,
     /// Files analyzed.
     pub files_checked: usize,
@@ -221,9 +237,19 @@ fn collect_package(
     Ok(())
 }
 
-/// Analyzes one already-read source text under `spec`'s identity.
-/// Shared by the driver and the fixture tests.
-pub fn analyze_source(spec: &FileSpec, source: &str) -> (Vec<Diagnostic>, usize) {
+/// Phase-1 output for one file: everything the graph and filter phases
+/// need.
+struct FileAnalysis {
+    file: SourceFile,
+    parsed: ParsedFile,
+    sups: Vec<Suppression>,
+    /// Local-rule findings, unfiltered (suppressions apply in phase 3).
+    raw: Vec<Diagnostic>,
+}
+
+/// Phase 1 for one file: lex, parse suppressions, run the local rules,
+/// build the item-level parse.
+fn scan_file(spec: &FileSpec, source: &str) -> FileAnalysis {
     let (toks, comments) = lex(source);
     let sups = parse_suppressions(&comments);
     let file = SourceFile::new(
@@ -232,59 +258,213 @@ pub fn analyze_source(spec: &FileSpec, source: &str) -> (Vec<Diagnostic>, usize)
         spec.is_crate_root,
         toks,
     );
-    let mut found = Vec::new();
+    let mut raw = Vec::new();
     for rule in registry() {
-        (rule.check)(&file, &mut found);
+        (rule.check)(&file, &mut raw);
     }
-    let mut diags: Vec<Diagnostic> = found
-        .into_iter()
-        .filter(|d| !is_suppressed(d, &sups))
-        .collect();
-    // Suppression hygiene: every allow must carry a written justification.
-    for s in &sups {
-        if s.justification.is_empty() {
-            diags.push(Diagnostic {
-                rule: SUPPRESSION_HYGIENE,
-                severity: Severity::Error,
-                file: spec.rel_path.clone(),
-                line: s.line,
-                message: format!(
-                    "`lint:allow({})` without a justification: write \
-                     `// lint:allow({}): <why this is safe>`",
-                    s.rule, s.rule
-                ),
-            });
-        }
-        if !registry().iter().any(|r| r.name == s.rule) {
-            diags.push(Diagnostic {
-                rule: SUPPRESSION_HYGIENE,
-                severity: Severity::Error,
-                file: spec.rel_path.clone(),
-                line: s.line,
-                message: format!("`lint:allow({})` names an unknown rule", s.rule),
-            });
-        }
+    let parsed = parse(&file.toks);
+    FileAnalysis {
+        file,
+        parsed,
+        sups,
+        raw,
     }
-    diags.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.rule.cmp(b.rule)));
-    (diags, sups.len())
 }
 
-/// Reads and analyzes every file in `specs`, assembling the report.
+/// Phases 2 + 3 over the scan results. `full_set` says the analyses are
+/// a complete analysis universe (the workspace walk): only then is a
+/// cross-rule allow held to the stale-suppression check — in single-file
+/// mode a cross-file finding may legitimately be invisible (e.g. the
+/// `WireMsg` declaration lives elsewhere), so staleness is only assessed
+/// for the always-full-context local rules.
+fn finish(mut analyses: Vec<FileAnalysis>, full_set: bool) -> Report {
+    // Phase 2: the cross-file passes over the workspace graph.
+    let units: Vec<Unit<'_>> = analyses
+        .iter()
+        .map(|a| Unit {
+            file: &a.file,
+            parsed: &a.parsed,
+        })
+        .collect();
+    let mut cross = Vec::new();
+    rng_stream_separation(&units, &mut cross);
+    frame_protocol(&units, &mut cross);
+    transitive_alloc(&units, &mut cross);
+    drop(units);
+
+    // Phase 3: suppression filtering with usage tracking.
+    let mut raw: Vec<Diagnostic> = Vec::new();
+    for a in &mut analyses {
+        raw.append(&mut a.raw);
+    }
+    raw.extend(cross);
+    let mut used: Vec<Vec<bool>> = analyses.iter().map(|a| vec![false; a.sups.len()]).collect();
+    let by_file: std::collections::BTreeMap<&str, usize> = analyses
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (a.file.rel_path.as_str(), i))
+        .collect();
+    let mut diags = Vec::new();
+    for d in raw {
+        let mut suppressed = false;
+        if let Some(&ai) = by_file.get(d.file.as_str()) {
+            for (j, s) in analyses[ai].sups.iter().enumerate() {
+                if suppression_covers(s, &d) {
+                    used[ai][j] = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+    // Suppression hygiene: every allow must be justified, must name a
+    // real rule, and must still suppress something.
+    let local_rules: BTreeSet<&str> = registry().iter().map(|r| r.name).collect();
+    let cross_rules: BTreeSet<&str> = cross_registry().iter().map(|r| r.name).collect();
+    for (ai, a) in analyses.iter().enumerate() {
+        for (j, s) in a.sups.iter().enumerate() {
+            if s.justification.is_empty() {
+                diags.push(Diagnostic {
+                    rule: SUPPRESSION_HYGIENE,
+                    severity: Severity::Error,
+                    file: a.file.rel_path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "`lint:allow({})` without a justification: write \
+                         `// lint:allow({}): <why this is safe>`",
+                        s.rule, s.rule
+                    ),
+                });
+                continue;
+            }
+            let rule = s.rule.as_str();
+            if !local_rules.contains(rule) && !cross_rules.contains(rule) {
+                diags.push(Diagnostic {
+                    rule: SUPPRESSION_HYGIENE,
+                    severity: Severity::Error,
+                    file: a.file.rel_path.clone(),
+                    line: s.line,
+                    message: format!("`lint:allow({})` names an unknown rule", s.rule),
+                });
+            } else if !used[ai][j] && (full_set || !cross_rules.contains(rule)) {
+                diags.push(Diagnostic {
+                    rule: SUPPRESSION_HYGIENE,
+                    severity: Severity::Error,
+                    file: a.file.rel_path.clone(),
+                    line: s.line,
+                    message: format!(
+                        "`lint:allow({})` suppresses nothing — the code it excused has \
+                         drifted away; remove the stale allow (or fix what it was \
+                         covering)",
+                        s.rule
+                    ),
+                });
+            }
+        }
+    }
+    diags.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.rule.cmp(b.rule))
+            .then_with(|| a.message.cmp(&b.message))
+    });
+    Report {
+        diagnostics: diags,
+        files_checked: analyses.len(),
+        suppressions: analyses.iter().map(|a| a.sups.len()).sum(),
+    }
+}
+
+/// Analyzes one already-read source text under `spec`'s identity.
+/// Shared by the driver and the fixture tests. The cross-file passes run
+/// over the single file; stale-suppression detection is limited to the
+/// local rules (see [`finish`]).
+pub fn analyze_source(spec: &FileSpec, source: &str) -> (Vec<Diagnostic>, usize) {
+    let analysis = scan_file(spec, source);
+    let sups = analysis.sups.len();
+    let report = finish(vec![analysis], false);
+    (report.diagnostics, sups)
+}
+
+/// Reads and analyzes every file in `specs`, assembling the report. The
+/// per-file scan phase fans out across all available cores; see
+/// [`run_with_jobs`] to bound the worker count.
 ///
 /// # Errors
 ///
 /// [`LintError::Io`] when a scheduled file cannot be read.
 pub fn run(specs: &[FileSpec]) -> Result<Report, LintError> {
-    let mut report = Report::default();
-    for spec in specs {
+    run_with_jobs(specs, 0)
+}
+
+/// [`run`] with an explicit scan-phase worker count (`0` = all available
+/// cores). Results are byte-identical for every `jobs` value: workers
+/// claim files by index stride and the report is assembled in input
+/// order, so parallelism is purely a wall-clock knob.
+///
+/// # Errors
+///
+/// [`LintError::Io`] when a scheduled file cannot be read.
+pub fn run_with_jobs(specs: &[FileSpec], jobs: usize) -> Result<Report, LintError> {
+    let jobs = if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, usize::from)
+    } else {
+        jobs
+    }
+    .clamp(1, specs.len().max(1));
+
+    let read_and_scan = |spec: &FileSpec| -> Result<FileAnalysis, LintError> {
         let source =
             fs::read_to_string(&spec.path).map_err(|e| LintError::Io(spec.path.clone(), e))?;
-        let (diags, sups) = analyze_source(spec, &source);
-        report.diagnostics.extend(diags);
-        report.suppressions += sups;
-        report.files_checked += 1;
+        Ok(scan_file(spec, &source))
+    };
+
+    let mut slots: Vec<Option<Result<FileAnalysis, LintError>>> =
+        specs.iter().map(|_| None).collect();
+    if jobs <= 1 {
+        for (i, spec) in specs.iter().enumerate() {
+            slots[i] = Some(read_and_scan(spec));
+        }
+    } else {
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let read_and_scan = &read_and_scan;
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        let mut i = w;
+                        while i < specs.len() {
+                            out.push((i, read_and_scan(&specs[i])));
+                            i += jobs;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| {
+                    h.join()
+                        .expect("invariant: scan workers never panic (the lexer is total)")
+                })
+                .collect::<Vec<_>>()
+        });
+        for (i, r) in results {
+            slots[i] = Some(r);
+        }
     }
-    Ok(report)
+    let mut analyses = Vec::with_capacity(specs.len());
+    for slot in slots {
+        match slot {
+            Some(Ok(a)) => analyses.push(a),
+            Some(Err(e)) => return Err(e),
+            None => {}
+        }
+    }
+    Ok(finish(analyses, true))
 }
 
 #[cfg(test)]
@@ -323,6 +503,43 @@ mod tests {
         let (diags, _) = analyze_source(&spec("optim", "crates/optim/src/x.rs"), src);
         assert_eq!(diags.len(), 1);
         assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn stale_suppression_is_flagged() {
+        // A justified allow for a local rule with nothing to suppress:
+        // the code it excused has drifted away.
+        let src = "// lint:allow(float-eq): was a sentinel once\nfn f(x: f64) -> f64 { x + 1.0 }";
+        let (diags, _) = analyze_source(&spec("optim", "crates/optim/src/x.rs"), src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, SUPPRESSION_HYGIENE);
+        assert!(
+            diags[0].message.contains("suppresses nothing"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn cross_rule_allows_are_not_stale_checked_in_single_file_mode() {
+        // The frame enum lives elsewhere: a frame-protocol allow here
+        // cannot be proven stale from one file, so it is left alone.
+        let src = "// lint:allow(frame-protocol): declaration lives in frame.rs\nfn f() {}";
+        let (diags, _) = analyze_source(&spec("runtime", "crates/runtime/src/x.rs"), src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn parallel_scan_is_order_identical() {
+        let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+            .expect("inside the workspace");
+        let specs = workspace_files(&root).expect("workspace enumerable");
+        let seq = run_with_jobs(&specs, 1).expect("sequential run");
+        let par = run_with_jobs(&specs, 8).expect("parallel run");
+        assert_eq!(seq.files_checked, par.files_checked);
+        assert_eq!(seq.suppressions, par.suppressions);
+        assert_eq!(seq.diagnostics, par.diagnostics);
+        assert_eq!(seq.to_json(), par.to_json());
     }
 
     #[test]

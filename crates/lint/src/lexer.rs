@@ -89,7 +89,11 @@ impl<'a> Lexer<'a> {
 
     fn bump(&mut self) -> u8 {
         let c = self.peek(0);
-        self.pos += 1;
+        // Saturate at EOF: a truncated escape (`"...\`) double-bumps at
+        // the end of input, and `pos` must stay a valid slice bound.
+        if self.pos < self.src.len() {
+            self.pos += 1;
+        }
         if c == b'\n' {
             self.line += 1;
         }
@@ -138,6 +142,16 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     self.bump();
                     self.push(TokKind::Punct, "==".into(), line);
+                }
+                b'=' if self.peek(1) == b'>' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "=>".into(), line);
+                }
+                b'-' if self.peek(1) == b'>' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::Punct, "->".into(), line);
                 }
                 b'!' if self.peek(1) == b'=' => {
                     self.bump();

@@ -1,7 +1,7 @@
 //! `edgeslice-lint` — the CLI over [`edgeslice_lint`].
 //!
 //! ```text
-//! edgeslice-lint --workspace [--format text|json]
+//! edgeslice-lint --workspace [--format text|json] [--jobs N]
 //! edgeslice-lint [--as-crate NAME] FILE...
 //! edgeslice-lint --list-rules
 //! ```
@@ -14,7 +14,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use edgeslice_lint::{find_workspace_root, registry, run, workspace_files, FileSpec};
+use edgeslice_lint::{
+    cross_registry, find_workspace_root, registry, run_with_jobs, workspace_files, FileSpec,
+};
 
 /// Parsed command line.
 struct Args {
@@ -22,6 +24,7 @@ struct Args {
     json: bool,
     list_rules: bool,
     as_crate: Option<String>,
+    jobs: usize,
     files: Vec<PathBuf>,
 }
 
@@ -31,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
         json: false,
         list_rules: false,
         as_crate: None,
+        jobs: 0,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -49,10 +53,20 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--as-crate expects a crate name".to_string())?,
                 );
             }
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--jobs expects a worker count (0 = all cores)".to_string())?;
+                args.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+            }
             "--help" | "-h" => {
-                return Err("usage: edgeslice-lint --workspace [--format text|json] | \
+                return Err(
+                    "usage: edgeslice-lint --workspace [--format text|json] [--jobs N] | \
                      [--as-crate NAME] FILE... | --list-rules"
-                    .to_string())
+                        .to_string(),
+                )
             }
             f if !f.starts_with('-') => args.files.push(PathBuf::from(f)),
             other => return Err(format!("unknown flag {other}")),
@@ -76,7 +90,13 @@ fn main() -> ExitCode {
     if args.list_rules {
         for rule in registry() {
             println!(
-                "{:<16} {:<8} {}",
+                "{:<24} {:<8} {}",
+                rule.name, rule.severity, rule.description
+            );
+        }
+        for rule in cross_registry() {
+            println!(
+                "{:<24} {:<8} {}",
                 rule.name, rule.severity, rule.description
             );
         }
@@ -126,7 +146,7 @@ fn main() -> ExitCode {
         });
     }
 
-    let report = match run(&specs) {
+    let report = match run_with_jobs(&specs, args.jobs) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("edgeslice-lint: {e}");

@@ -9,6 +9,7 @@
 
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{Tok, TokKind};
+use crate::parse::matching;
 
 /// Rule name for the determinism invariant (see [`determinism`]).
 pub const DETERMINISM: &str = "determinism";
@@ -21,12 +22,24 @@ pub const CRATE_HEADER: &str = "crate-header";
 /// Rule name for float equality comparisons (see [`float_eq`]).
 pub const FLOAT_EQ: &str = "float-eq";
 /// Rule name for suppression hygiene (emitted by the driver, not a
-/// registry rule: suppressions are parsed once per file, before rules run).
+/// registry rule: suppressions are parsed once per file, before rules
+/// run). Covers unjustified allows, allows naming unknown rules, and —
+/// since the workspace-graph passes — *stale* allows that no longer
+/// suppress any finding.
 pub const SUPPRESSION_HYGIENE: &str = "suppression-hygiene";
+/// Cross-file rule name: RNG stream-tag separation (see
+/// [`crate::graph::rng_stream_separation`]).
+pub const RNG_STREAM_SEPARATION: &str = "rng-stream-separation";
+/// Cross-file rule name: frame-protocol exhaustiveness (see
+/// [`crate::graph::frame_protocol`]).
+pub const FRAME_PROTOCOL: &str = "frame-protocol";
+/// Cross-file rule name: transitive hot-path allocation (see
+/// [`crate::graph::transitive_alloc`]).
+pub const TRANSITIVE_ALLOC: &str = "transitive-alloc";
 
 /// Crates whose non-test code must be a pure function of its seeds:
 /// the per-RA worker loop, the coordinator, and the network simulation.
-const DETERMINISM_CRATES: &[&str] = &["runtime", "core", "netsim"];
+pub(crate) const DETERMINISM_CRATES: &[&str] = &["runtime", "core", "netsim"];
 /// The only modules allowed to touch the wall clock: the runtime's
 /// deadline machinery (`clock.rs`, where every read goes through the
 /// mockable [`Clock`] seam) and the transport layer (`transport.rs`,
@@ -44,7 +57,7 @@ const WALL_CLOCK_QUARANTINE: &[&str] = &[
 /// the whole system down — the Supervisor only catches *worker* panics.
 const PANIC_CRATES: &[&str] = &["runtime", "core"];
 /// Crates carrying the zero-allocation training hot path.
-const HOT_PATH_CRATES: &[&str] = &["nn", "rl"];
+pub(crate) const HOT_PATH_CRATES: &[&str] = &["nn", "rl"];
 
 /// A pre-lexed source file plus the context rules need to scope
 /// themselves: owning crate, path, whether it is a crate root, and which
@@ -89,7 +102,13 @@ impl SourceFile {
             .any(|&(lo, hi)| (lo..hi).contains(&i))
     }
 
-    fn diag(&self, rule: &'static str, severity: Severity, line: usize, msg: String) -> Diagnostic {
+    pub(crate) fn diag(
+        &self,
+        rule: &'static str,
+        severity: Severity,
+        line: usize,
+        msg: String,
+    ) -> Diagnostic {
         Diagnostic {
             rule,
             severity,
@@ -111,6 +130,43 @@ pub struct Rule {
     pub description: &'static str,
     /// The check: append findings for `file` to the sink.
     pub check: fn(&SourceFile, &mut Vec<Diagnostic>),
+}
+
+/// One registered *cross-file* rule: these run over the whole analyzed
+/// set at once (they need the workspace symbol table and call graph in
+/// [`crate::graph`]), so they carry no per-file `check` fn.
+pub struct CrossRule {
+    /// Stable rule name — the key used by `lint:allow(<name>)`.
+    pub name: &'static str,
+    /// Findings' severity.
+    pub severity: Severity,
+    /// One-line description shown by `--list-rules`.
+    pub description: &'static str,
+}
+
+/// The cross-file passes, in reporting order. The driver runs them after
+/// the per-file scan phase; see [`crate::graph`] for the pass bodies.
+pub fn cross_registry() -> Vec<CrossRule> {
+    vec![
+        CrossRule {
+            name: RNG_STREAM_SEPARATION,
+            severity: Severity::Error,
+            description: "all *_STREAM_TAG/DOMAIN_* constants unique workspace-wide; every \
+                          seed derivation site XORs a named tag (no literals, no reuse)",
+        },
+        CrossRule {
+            name: FRAME_PROTOCOL,
+            severity: Severity::Error,
+            description: "every frame tag handled in every match over decoded frames — no \
+                          wildcard arm silently swallowing a tag; TAG_*/WireMsg kept 1:1",
+        },
+        CrossRule {
+            name: TRANSITIVE_ALLOC,
+            severity: Severity::Error,
+            description: "hot-path fns must not *reach* an allocating fn at any call depth \
+                          (the call-graph closure of hot-path-alloc)",
+        },
+    ]
 }
 
 /// All registered rules, in reporting order.
@@ -210,26 +266,6 @@ fn item_end(toks: &[Tok], mut i: usize) -> usize {
         }
     }
     toks.len()
-}
-
-/// Index of the token matching the `open` delimiter at `i`, honoring
-/// nesting. Returns `None` if unbalanced.
-fn matching(toks: &[Tok], i: usize, open: &str, close: &str) -> Option<usize> {
-    debug_assert_eq!(toks[i].text, open);
-    let mut depth = 0usize;
-    for (j, t) in toks.iter().enumerate().skip(i) {
-        if t.kind == TokKind::Punct {
-            if t.text == open {
-                depth += 1;
-            } else if t.text == close {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(j);
-                }
-            }
-        }
-    }
-    None
 }
 
 /// Rule 1 — determinism. Reproducible coordination requires every worker
@@ -374,12 +410,30 @@ fn next_is(toks: &[Tok], i: usize, text: &str) -> bool {
 /// GEMM kernel-layer prefixes (`matmul_*`, `pack_*`, `accumulate_*`) —
 /// the blocked/parallel kernels and their panel-packing helpers, whose
 /// packed B panels live on the stack precisely so they never allocate.
-fn is_hot_path_fn_name(name: &str) -> bool {
+pub(crate) fn is_hot_path_fn_name(name: &str) -> bool {
     name.ends_with("_into")
         || name.ends_with("_scratch")
         || name.starts_with("matmul_")
         || name.starts_with("pack_")
         || name.starts_with("accumulate_")
+}
+
+/// The banned-allocation matcher shared by the local rule and the
+/// transitive pass: when the token at `k` is one of the five banned
+/// constructs, returns its display name.
+pub(crate) fn alloc_construct(toks: &[Tok], k: usize) -> Option<&'static str> {
+    let t = toks.get(k)?;
+    if t.kind != TokKind::Ident {
+        return None;
+    }
+    match t.text.as_str() {
+        "Vec" if path_call(toks, k, "new") => Some("`Vec::new()`"),
+        "vec" if next_is(toks, k, "!") => Some("`vec![..]`"),
+        "to_vec" if prev_is(toks, k, ".") && next_is(toks, k, "(") => Some("`.to_vec()`"),
+        "clone" if prev_is(toks, k, ".") && next_is(toks, k, "(") => Some("`.clone()`"),
+        "collect" if prev_is(toks, k, ".") => Some("`.collect()`"),
+        _ => None,
+    }
 }
 
 /// Rule 3 — hot-path allocation discipline. PR 4's zero-allocation
@@ -427,37 +481,18 @@ fn hot_path_alloc(file: &SourceFile, out: &mut Vec<Diagnostic>) {
             continue;
         };
         for k in j..=end {
-            let t = &toks[k];
-            let mk = |what: &str| {
-                file.diag(
+            if let Some(what) = alloc_construct(toks, k) {
+                out.push(file.diag(
                     HOT_PATH_ALLOC,
                     Severity::Error,
-                    t.line,
+                    toks[k].line,
                     format!(
                         "{what} inside hot-path fn `{fn_name}`: the `*_into`/`*_scratch` \
                          and kernel (`matmul_*`/`pack_*`/`accumulate_*`) families must \
                          reuse caller-provided storage \
                          (see the counting-allocator test in crates/rl/tests/zero_alloc.rs)"
                     ),
-                )
-            };
-            match (t.kind, t.text.as_str()) {
-                (TokKind::Ident, "Vec") if path_call(toks, k, "new") => {
-                    out.push(mk("`Vec::new()`"));
-                }
-                (TokKind::Ident, "vec") if next_is(toks, k, "!") => {
-                    out.push(mk("`vec![..]`"));
-                }
-                (TokKind::Ident, "to_vec") if prev_is(toks, k, ".") && next_is(toks, k, "(") => {
-                    out.push(mk("`.to_vec()`"));
-                }
-                (TokKind::Ident, "clone") if prev_is(toks, k, ".") && next_is(toks, k, "(") => {
-                    out.push(mk("`.clone()`"));
-                }
-                (TokKind::Ident, "collect") if prev_is(toks, k, ".") => {
-                    out.push(mk("`.collect()`"));
-                }
-                _ => {}
+                ));
             }
         }
         i = end + 1;

@@ -6,8 +6,10 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+const JITTER_STREAM_TAG: u64 = 0x51C3_0000_0000_00FE;
+
 fn jitter(master_seed: u64, ra: u64, round: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(master_seed ^ (ra << 32) ^ round);
+    let mut rng = StdRng::seed_from_u64(master_seed ^ JITTER_STREAM_TAG ^ (ra << 32) ^ round);
     rng.gen_range(0.0..1.0)
 }
 

@@ -1,0 +1,25 @@
+//! Fixture: RNG stream-separation violations (analyzed as crate
+//! `runtime`). Lexed, never compiled.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const ALPHA_STREAM_TAG: u64 = 0x51C3_0000_0000_0051;
+// Duplicate value: collides with ALPHA_STREAM_TAG.
+const BETA_STREAM_TAG: u64 = 0x51C3_0000_0000_0051;
+
+fn adhoc(master: u64, ra: u64) -> StdRng {
+    StdRng::seed_from_u64(master ^ (ra << 32) ^ 0x00C0_FFEE)
+}
+
+fn literal_only() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+fn first_use(master: u64) -> StdRng {
+    StdRng::seed_from_u64(master ^ ALPHA_STREAM_TAG)
+}
+
+fn second_use(master: u64) -> StdRng {
+    StdRng::seed_from_u64(master ^ ALPHA_STREAM_TAG)
+}

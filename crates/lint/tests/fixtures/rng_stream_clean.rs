@@ -1,0 +1,25 @@
+//! Fixture: deterministic counterpart of `rng_stream_bad.rs` — distinct
+//! named tags, each XORed into exactly one stream (analyzed as crate
+//! `runtime`). Lexed, never compiled.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const GAMMA_STREAM_TAG: u64 = 0x51C3_0000_0000_0061;
+const DELTA_STREAM_TAG: u64 = 0x51C3_0000_0000_0062;
+
+fn gamma(master: u64) -> StdRng {
+    StdRng::seed_from_u64(master ^ GAMMA_STREAM_TAG)
+}
+
+fn delta(master: u64, ra: u64) -> StdRng {
+    StdRng::seed_from_u64(master ^ DELTA_STREAM_TAG ^ (ra << 32))
+}
+
+fn derived(master: u64, round: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_stream_seed(master, DOMAIN_ROUND, round as u64))
+}
+
+fn prederived(stream_seed: u64) -> StdRng {
+    StdRng::seed_from_u64(stream_seed)
+}

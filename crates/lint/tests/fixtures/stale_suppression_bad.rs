@@ -1,0 +1,7 @@
+//! Fixture: a justified allow whose excused code has drifted away
+//! (analyzed as crate `optim`). Lexed, never compiled.
+
+fn damped(x: f64) -> f64 {
+    // lint:allow(float-eq): exact-zero was the disabled-jitter sentinel
+    x * 0.5
+}

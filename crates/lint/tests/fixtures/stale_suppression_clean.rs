@@ -1,0 +1,8 @@
+//! Fixture: counterpart of `stale_suppression_bad.rs` — the allow still
+//! covers a live finding (analyzed as crate `optim`). Lexed, never
+//! compiled.
+
+fn is_disabled(x: f64) -> bool {
+    // lint:allow(float-eq): exact-zero is the disabled-jitter sentinel
+    x == 0.0
+}

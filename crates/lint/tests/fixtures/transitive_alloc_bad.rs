@@ -1,0 +1,19 @@
+//! Fixture: a hot-path `*_into` kernel reaching an allocation two calls
+//! down the call graph (analyzed as crate `nn`). The kernel's own body
+//! is clean — only the transitive pass can see the defect. Lexed, never
+//! compiled.
+
+pub fn scale_rows_into(x: &[f64], out: &mut [f64]) {
+    stage_one(x, out);
+}
+
+fn stage_one(x: &[f64], out: &mut [f64]) {
+    stage_two(x, out);
+}
+
+fn stage_two(x: &[f64], out: &mut [f64]) {
+    let tmp = x.to_vec();
+    for (o, t) in out.iter_mut().zip(&tmp) {
+        *o = *t;
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: counterpart of `transitive_alloc_bad.rs` — the same call
+//! chain with every stage writing into caller storage (analyzed as crate
+//! `nn`). Lexed, never compiled.
+
+pub fn scale_rows_into(x: &[f64], out: &mut [f64]) {
+    stage_one(x, out);
+}
+
+fn stage_one(x: &[f64], out: &mut [f64]) {
+    stage_two(x, out);
+}
+
+fn stage_two(x: &[f64], out: &mut [f64]) {
+    for (o, v) in out.iter_mut().zip(x) {
+        *o = *v * 2.0;
+    }
+}

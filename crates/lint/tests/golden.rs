@@ -162,3 +162,104 @@ fn float_eq_clean_passes_with_one_justified_suppression() {
     assert!(diags.is_empty(), "{diags:#?}");
     assert_eq!(sups, 1, "the justified zero-skip allow must be counted");
 }
+
+#[test]
+fn rng_stream_bad_fires_on_dup_literal_and_reuse() {
+    let (diags, _) = analyze_fixture("rng_stream_bad.rs", "runtime", false);
+    assert_all_rule(&diags, "rng-stream-separation", 4);
+    for needle in [
+        "duplicates the value",
+        "folds stream material",
+        "literal seed material",
+        "already XORed",
+    ] {
+        assert!(
+            diags.iter().any(|d| d.message.contains(needle)),
+            "no finding mentions {needle:?}: {diags:#?}"
+        );
+    }
+}
+
+#[test]
+fn rng_stream_clean_is_silent() {
+    let (diags, _) = analyze_fixture("rng_stream_clean.rs", "runtime", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn rng_stream_tag_uniqueness_is_workspace_wide() {
+    // Derivation-site discipline is scoped to the determinism crates,
+    // but duplicate tag *values* collide wherever they live.
+    let (diags, _) = analyze_fixture("rng_stream_bad.rs", "bench", false);
+    assert_all_rule(&diags, "rng-stream-separation", 1);
+    for d in &diags {
+        assert!(
+            d.message.contains("duplicates the value"),
+            "a derivation-site finding leaked outside the determinism scope: {d}"
+        );
+    }
+}
+
+#[test]
+fn frame_protocol_bad_fires_on_desync_wildcard_and_dropped_arm() {
+    let (diags, _) = analyze_fixture("frame_protocol_bad.rs", "runtime", false);
+    assert_all_rule(&diags, "frame-protocol", 4);
+    // (1) the codec/enum desync names the drifted tag;
+    assert!(diags.iter().any(|d| d.message.contains("TAG_DOWN")));
+    // (2) the silent wildcard arm;
+    assert!(diags.iter().any(|d| d.message.contains("wildcard arm")));
+    // (3) the deleted `Report` arm (acceptance scenario: deleting a
+    // frame-match arm must produce a diagnostic);
+    assert!(diags.iter().any(|d| d
+        .message
+        .contains("does not handle `WireMsg` variant(s) Report")));
+    // (4) the decoder missing tag bytes.
+    assert!(diags.iter().any(|d| d.message.contains("TAG_REPORT")));
+}
+
+#[test]
+fn frame_protocol_clean_is_silent() {
+    let (diags, _) = analyze_fixture("frame_protocol_clean.rs", "runtime", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn transitive_alloc_bad_fires_two_calls_down() {
+    // Acceptance scenario: an allocation two calls below an `_into` fn.
+    let (diags, _) = analyze_fixture("transitive_alloc_bad.rs", "nn", false);
+    assert_all_rule(&diags, "transitive-alloc", 1);
+    assert!(diags[0].message.contains("scale_rows_into"));
+    assert!(diags[0].message.contains("`stage_one` → `stage_two`"));
+    assert!(diags[0].message.contains(".to_vec()"));
+}
+
+#[test]
+fn transitive_alloc_clean_is_silent() {
+    let (diags, _) = analyze_fixture("transitive_alloc_clean.rs", "nn", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn transitive_alloc_is_scoped_to_the_hot_crates() {
+    let (diags, _) = analyze_fixture("transitive_alloc_bad.rs", "bench", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn stale_suppression_bad_fires() {
+    let (diags, sups) = analyze_fixture("stale_suppression_bad.rs", "optim", false);
+    assert_all_rule(&diags, "suppression-hygiene", 1);
+    assert!(
+        diags[0].message.contains("suppresses nothing"),
+        "{}",
+        diags[0].message
+    );
+    assert_eq!(sups, 1);
+}
+
+#[test]
+fn stale_suppression_clean_is_silent() {
+    let (diags, sups) = analyze_fixture("stale_suppression_clean.rs", "optim", false);
+    assert!(diags.is_empty(), "{diags:#?}");
+    assert_eq!(sups, 1);
+}

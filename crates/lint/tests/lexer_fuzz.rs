@@ -1,0 +1,126 @@
+//! Lexer robustness: the analyzer must never be broken by the code it
+//! checks. Every workspace source file — plus seeded truncated and
+//! byte-mutated corpora derived from them — goes through the lint lexer;
+//! the lexer must never panic and must report monotonically nondecreasing
+//! line numbers (fixture files included, which hold deliberately bad
+//! code). Fuzz-style but fully deterministic: a hand-rolled xorshift
+//! stream, no external fuzzing deps.
+
+use std::path::Path;
+
+use edgeslice_lint::lexer::lex;
+use edgeslice_lint::{find_workspace_root, workspace_files};
+
+/// xorshift64* — deterministic, dependency-free mutation stream.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Lexes `source` and asserts the output is well-formed: token and
+/// comment lines are 1-based and nondecreasing in emission order.
+fn assert_lex_well_formed(label: &str, source: &str) {
+    let (toks, comments) = lex(source);
+    let mut last = 1;
+    for t in &toks {
+        assert!(t.line >= 1, "{label}: token line {} below 1", t.line);
+        assert!(
+            t.line >= last,
+            "{label}: token lines regressed {last} -> {}",
+            t.line
+        );
+        last = t.line;
+    }
+    let mut last = 1;
+    for c in &comments {
+        assert!(c.line >= 1, "{label}: comment line {} below 1", c.line);
+        assert!(
+            c.line >= last,
+            "{label}: comment lines regressed {last} -> {}",
+            c.line
+        );
+        last = c.line;
+    }
+}
+
+/// Every corpus source: the workspace walk plus the lint fixtures.
+fn corpus() -> Vec<(String, String)> {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("this test runs from inside the workspace");
+    let mut out = Vec::new();
+    for spec in workspace_files(&root).expect("workspace sources enumerable") {
+        let source = std::fs::read_to_string(&spec.path).expect("workspace source readable");
+        out.push((spec.rel_path, source));
+    }
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut names: Vec<_> = std::fs::read_dir(&fixtures)
+        .expect("fixtures dir readable")
+        .map(|e| e.expect("fixture entry").path())
+        .collect();
+    names.sort();
+    for path in names {
+        let source = std::fs::read_to_string(&path).expect("fixture readable");
+        out.push((path.display().to_string(), source));
+    }
+    out
+}
+
+#[test]
+fn every_workspace_file_lexes_cleanly() {
+    let corpus = corpus();
+    assert!(corpus.len() > 40, "corpus too small: {}", corpus.len());
+    for (label, source) in &corpus {
+        assert_lex_well_formed(label, source);
+    }
+}
+
+#[test]
+fn truncated_sources_never_panic() {
+    // Cuts at arbitrary char boundaries leave dangling strings, comments,
+    // and half tokens — the lexer must absorb all of them.
+    let mut rng = XorShift(0x0E5E_11F0_0000_0001);
+    for (label, source) in &corpus() {
+        for _ in 0..8 {
+            let mut cut = rng.below(source.len() + 1);
+            while !source.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            assert_lex_well_formed(&format!("{label}[..{cut}]"), &source[..cut]);
+        }
+    }
+}
+
+#[test]
+fn byte_mutated_sources_never_panic() {
+    // Random byte splices (including invalid UTF-8, repaired lossily the
+    // way any robust reader would) must lex without panicking.
+    let mut rng = XorShift(0x0E5E_11F0_0000_0002);
+    for (label, source) in &corpus() {
+        for round in 0..4 {
+            let mut bytes = source.as_bytes().to_vec();
+            for _ in 0..8 {
+                let at = rng.below(bytes.len().max(1));
+                let b = (rng.next() & 0xFF) as u8;
+                if bytes.is_empty() {
+                    bytes.push(b);
+                } else {
+                    bytes[at] = b;
+                }
+            }
+            let mutated = String::from_utf8_lossy(&bytes);
+            assert_lex_well_formed(&format!("{label}#mut{round}"), &mutated);
+        }
+    }
+}

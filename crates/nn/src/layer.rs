@@ -17,7 +17,7 @@ pub struct Dense {
 }
 
 /// Gradients of a [`Dense`] layer's parameters for one backward pass.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DenseGrad {
     /// Gradient with respect to the weights, `out × in`.
     pub weights: Matrix,

@@ -239,6 +239,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.rows != rhs.rows`.
+    // lint:allow(transitive-alloc): allocating reference form by design — the `*_into` kernels are the hot-path variants
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.rows, rhs.rows,
@@ -268,6 +269,7 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols != rhs.cols`.
+    // lint:allow(transitive-alloc): allocating reference form by design — the `*_into` kernels are the hot-path variants
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.cols,

@@ -181,10 +181,8 @@ impl Gradients {
     /// Reshapes to match `net`, reusing allocations; values are
     /// unspecified afterwards.
     pub fn resize_like(&mut self, net: &Mlp) {
-        self.layers.resize_with(net.layers.len(), || DenseGrad {
-            weights: Matrix::default(),
-            bias: Vec::new(),
-        });
+        self.layers
+            .resize_with(net.layers.len(), DenseGrad::default);
         for (g, l) in self.layers.iter_mut().zip(&net.layers) {
             g.resize_like(l);
         }

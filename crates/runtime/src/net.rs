@@ -213,7 +213,15 @@ impl<T: Transport> NetCoordinator<T> {
                     theirs: version,
                 })
             }
-            _ => Err(TransportError::HandshakeProtocol("expected Hello")),
+            WireMsg::HelloAck { .. }
+            | WireMsg::Reject { .. }
+            | WireMsg::Register { .. }
+            | WireMsg::RegisterAck { .. }
+            | WireMsg::Refresh { .. }
+            | WireMsg::Round(_)
+            | WireMsg::Report { .. }
+            | WireMsg::Ctl(_)
+            | WireMsg::Down { .. } => Err(TransportError::HandshakeProtocol("expected Hello")),
         }
     }
 
@@ -458,7 +466,12 @@ impl<T: Transport> NetCoordinator<T> {
                 }
             }
             // Anything else on an established link is protocol noise.
-            _ => {
+            WireMsg::Hello { .. }
+            | WireMsg::HelloAck { .. }
+            | WireMsg::Reject { .. }
+            | WireMsg::RegisterAck { .. }
+            | WireMsg::Round(_)
+            | WireMsg::Ctl(_) => {
                 if let Some(g) = gather {
                     g.telemetry.discarded_reports += 1;
                 }
@@ -626,7 +639,15 @@ impl<T: Transport> WorkerSession<T> {
                     ));
                 }
                 WireMsg::Reject { code } => return Err(TransportError::Rejected { code }),
-                _ => {} // unrelated frame before the ack: keep waiting
+                // Unrelated frame before the ack: keep waiting.
+                WireMsg::Hello { .. }
+                | WireMsg::HelloAck { .. }
+                | WireMsg::Register { .. }
+                | WireMsg::Refresh { .. }
+                | WireMsg::Round(_)
+                | WireMsg::Report { .. }
+                | WireMsg::Ctl(_)
+                | WireMsg::Down { .. } => {}
             }
         }
     }
@@ -654,7 +675,15 @@ impl<T: Transport> WorkerSession<T> {
                     return Ok(WorkerCommand::Round(info));
                 }
                 Ok(WireMsg::Ctl(ctl)) => return Ok(WorkerCommand::Control(ctl)),
-                Ok(_) => {} // duplicate ack / noise: ignore
+                // Duplicate ack / noise: ignore.
+                Ok(WireMsg::Hello { .. })
+                | Ok(WireMsg::HelloAck { .. })
+                | Ok(WireMsg::Reject { .. })
+                | Ok(WireMsg::Register { .. })
+                | Ok(WireMsg::RegisterAck { .. })
+                | Ok(WireMsg::Refresh { .. })
+                | Ok(WireMsg::Report { .. })
+                | Ok(WireMsg::Down { .. }) => {}
                 Err(TransportError::Timeout) => {
                     if self.auto_refresh {
                         self.refresh()?;

@@ -547,7 +547,14 @@ pub fn client_handshake<T: Transport>(
             theirs: version,
         }),
         WireMsg::Reject { code } => Err(TransportError::Rejected { code }),
-        _ => Err(TransportError::HandshakeProtocol(
+        WireMsg::Hello { .. }
+        | WireMsg::Register { .. }
+        | WireMsg::RegisterAck { .. }
+        | WireMsg::Refresh { .. }
+        | WireMsg::Round(_)
+        | WireMsg::Report { .. }
+        | WireMsg::Ctl(_)
+        | WireMsg::Down { .. } => Err(TransportError::HandshakeProtocol(
             "expected HelloAck or Reject",
         )),
     }
@@ -577,7 +584,15 @@ pub fn server_handshake<T: Transport>(
                 theirs: version,
             })
         }
-        _ => Err(TransportError::HandshakeProtocol("expected Hello")),
+        WireMsg::HelloAck { .. }
+        | WireMsg::Reject { .. }
+        | WireMsg::Register { .. }
+        | WireMsg::RegisterAck { .. }
+        | WireMsg::Refresh { .. }
+        | WireMsg::Round(_)
+        | WireMsg::Report { .. }
+        | WireMsg::Ctl(_)
+        | WireMsg::Down { .. } => Err(TransportError::HandshakeProtocol("expected Hello")),
     }
 }
 
